@@ -1,0 +1,33 @@
+"""Figure 10a: end-to-end throughput on A10 (vLLM-best vs Seesaw).
+
+Six cells: {15B, 34B, 70B} x {arxiv, sharegpt}. The harness sweeps static
+configurations for the baseline and (cp, cd) pairs for Seesaw, exactly as
+the paper's evaluation does, and prints the winning labels next to the
+normalized throughputs. Request counts are scaled down ~5x from the paper
+(pass full_scale=True to run_fig10 for the paper's 500/2000).
+"""
+
+import pytest
+
+from repro.experiments.fig10_e2e import Fig10Result, render_fig10, run_fig10
+
+
+@pytest.fixture(scope="module")
+def fig10_a10() -> Fig10Result:
+    return run_fig10(
+        gpus=("A10",),
+        models=("15b", "34b", "70b"),
+        datasets=("arxiv", "sharegpt"),
+        simulate_top=3,
+    )
+
+
+def test_fig10_a10(benchmark, fig10_a10, save_artifact):
+    result = benchmark.pedantic(lambda: fig10_a10, rounds=1, iterations=1)
+    assert all(c.speedup >= 0.95 for c in result.cells)
+    assert result.max_speedup >= 1.1
+    assert result.geomean_speedup >= 1.05
+    # Prefill-heavy cells show clear wins (the paper's biggest gains).
+    arxiv = [c for c in result.cells if c.dataset == "arxiv"]
+    assert all(c.speedup >= 1.05 for c in arxiv)
+    save_artifact("fig10a_e2e_a10", render_fig10(result))

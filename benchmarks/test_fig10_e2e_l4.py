@@ -1,0 +1,23 @@
+"""Figure 10b: end-to-end throughput on L4 (vLLM-best vs Seesaw)."""
+
+import pytest
+
+from repro.experiments.fig10_e2e import Fig10Result, render_fig10, run_fig10
+
+
+@pytest.fixture(scope="module")
+def fig10_l4() -> Fig10Result:
+    return run_fig10(
+        gpus=("L4",),
+        models=("15b", "34b", "70b"),
+        datasets=("arxiv", "sharegpt"),
+        simulate_top=3,
+    )
+
+
+def test_fig10_l4(benchmark, fig10_l4, save_artifact):
+    result = benchmark.pedantic(lambda: fig10_l4, rounds=1, iterations=1)
+    assert all(c.speedup >= 0.95 for c in result.cells)
+    assert result.max_speedup >= 1.2
+    assert result.geomean_speedup >= 1.05
+    save_artifact("fig10b_e2e_l4", render_fig10(result))

@@ -1,0 +1,30 @@
+"""Figure 11: 70B on 8x A100 - PCIe vs NVLink."""
+
+import pytest
+
+from repro.experiments.fig11_a100 import Fig11Result, render_fig11, run_fig11
+
+
+@pytest.fixture(scope="module")
+def fig11() -> Fig11Result:
+    return run_fig11(num_arxiv=60, num_sharegpt=150, simulate_top=3)
+
+
+def test_fig11_a100(benchmark, fig11, save_artifact):
+    result = benchmark.pedantic(lambda: fig11, rounds=1, iterations=1)
+    # Seesaw helps clearly on PCIe for the prefill-heavy workload (the
+    # paper reports +46% there; our cost model lands lower but clearly
+    # positive)...
+    assert result.speedup("arxiv", "pcie") >= 1.1
+    # ...and essentially ties everywhere else (the paper's +13-30% on the
+    # remaining cells attenuates under our chunked-prefill baseline; see
+    # EXPERIMENTS.md for the recorded deviation).
+    assert result.speedup("arxiv", "nvlink") >= 0.95
+    assert result.speedup("sharegpt", "nvlink") >= 0.95
+    assert result.speedup("sharegpt", "pcie") >= 0.95
+    # Seesaw lifts the PCIe machine closer to NVLink-class throughput on
+    # the prefill-heavy workload.
+    assert result.pcie_recovery("arxiv", "seesaw") > result.pcie_recovery(
+        "arxiv", "vllm"
+    )
+    save_artifact("fig11_a100", render_fig11(result))

@@ -1,0 +1,26 @@
+"""Figure 12: speedup breakdown (34B, arxiv, 4x A10)."""
+
+from repro.experiments.fig12_breakdown import render_fig12, run_fig12
+
+
+def test_fig12_breakdown(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        run_fig12, kwargs={"num_requests": 100}, rounds=1, iterations=1
+    )
+    runs = result.runs
+    # TP4 is decode-optimal but prefill-poor; PP4 the reverse.
+    assert runs["tp4"].phase_time["prefill"] > runs["pp4"].phase_time["prefill"]
+    assert runs["pp4"].phase_time["decode"] > runs["tp4"].phase_time["decode"]
+    # Seesaw merges both advantages...
+    assert (
+        runs["p4->t4"].phase_time["prefill"]
+        <= 1.1 * runs["pp4"].phase_time["prefill"]
+    )
+    assert (
+        runs["p4->t4"].phase_time["decode"] <= 1.25 * runs["tp4"].phase_time["decode"]
+    )
+    # ...and beats every static run, including tuned chunked prefill.
+    seesaw_time = runs["p4->t4"].total_time
+    for name in ("tp4", "pp4", "tp2pp2+chunked"):
+        assert seesaw_time < runs[name].total_time
+    save_artifact("fig12_breakdown", render_fig12(result))

@@ -1,0 +1,18 @@
+"""Figure 13: throughput vs D:P ratio (70B, 8x A10, input 3000)."""
+
+from repro.experiments.fig13_dp_ratio import render_fig13, run_fig13
+
+
+def test_fig13_dp_ratio(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        run_fig13, kwargs={"num_requests": 48}, rounds=1, iterations=1
+    )
+    winners = [result.best_static_at(i) for i in range(len(result.ratios))]
+    assert winners[0] == "pp8"
+    assert winners[-1] == "tp4pp2"
+    assert "tp2pp4" in winners  # the crossover regime
+    # Seesaw tracks the upper envelope across the sweep.
+    for i in range(len(result.ratios)):
+        best = max(result.throughput[k][i] for k in ("tp4pp2", "tp2pp4", "pp8"))
+        assert result.throughput["pp8->tp4pp2"][i] >= 0.93 * best
+    save_artifact("fig13_dp_ratio", render_fig13(result))

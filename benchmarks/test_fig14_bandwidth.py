@@ -1,0 +1,20 @@
+"""Figure 14: throughput vs interconnect bandwidth (34B, arxiv, 8x A10)."""
+
+from repro.experiments.fig14_bandwidth import render_fig14, run_fig14
+
+
+def test_fig14_bandwidth(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        run_fig14, kwargs={"num_requests": 48}, rounds=1, iterations=1
+    )
+    statics = [k for k in result.throughput if "->" not in k and "auto" not in k]
+    # PP-heavy wins at 0.1x, TP-heavy at 50x.
+    first = max(statics, key=lambda k: result.throughput[k][0])
+    last = max(statics, key=lambda k: result.throughput[k][-1])
+    assert "p4" in first or "p8" in first
+    assert "t8" in last or "t4" in last
+    # Seesaw's fixed pair leads around true PCIe bandwidth.
+    i_pcie = list(result.scales).index(1.0)
+    best_static = max(result.throughput[k][i_pcie] for k in statics)
+    assert result.throughput["d2p4->d2t4"][i_pcie] >= best_static
+    save_artifact("fig14_bandwidth", render_fig14(result))

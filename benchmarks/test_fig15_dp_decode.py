@@ -1,0 +1,14 @@
+"""Figure 15 (appendix): data parallelism's effect on decode."""
+
+from repro.experiments.fig15_dp_decode import render_fig15, run_fig15
+
+
+def test_fig15_dp_decode(benchmark, save_artifact):
+    result = benchmark.pedantic(run_fig15, rounds=3, iterations=1)
+    assert not result.row("TP1DP8").fits  # OOM, as in the paper
+    # Batch size grows super-linearly toward TP; per-request weight loading
+    # shrinks (TP shards weights, DP duplicates them).
+    assert result.row("TP8DP1").max_batch > result.row("TP2DP4").max_batch
+    assert result.row("TP2DP4").load_weight > result.row("TP4DP2").load_weight
+    assert result.row("TP4DP2").load_weight > result.row("TP8DP1").load_weight
+    save_artifact("fig15_dp_decode", render_fig15(result))

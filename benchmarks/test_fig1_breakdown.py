@@ -1,0 +1,16 @@
+"""Figure 1: prefill/decode time breakdown, LLaMA2-13B on 8x L4, batch 16.
+
+Shape reproduced: prefill time grows with TP (communication-dominated at
+TP8); decode time falls with TP (weight-transfer-dominated at PP8).
+"""
+
+from repro.experiments.fig1_breakdown import render_fig1, run_fig1
+
+
+def test_fig1_breakdown(benchmark, save_artifact):
+    result = benchmark.pedantic(run_fig1, rounds=3, iterations=1)
+    prefill = [r.prefill_time for r in result.rows]
+    decode = [r.decode_time for r in result.rows]
+    assert prefill == sorted(prefill), "prefill must worsen with TP"
+    assert decode[0] == max(decode), "PP8 must be the slowest decode"
+    save_artifact("fig1_breakdown", render_fig1(result))

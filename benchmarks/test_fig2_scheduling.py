@@ -1,0 +1,16 @@
+"""Figure 2 (quantified): scheduling policies under re-sharding overhead."""
+
+from repro.experiments.fig2_scheduling import render_fig2, run_fig2
+
+
+def test_fig2_scheduling(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        run_fig2, kwargs={"num_requests": 300}, rounds=1, iterations=1
+    )
+    tput = result.throughputs
+    assert (
+        tput["tiered+transition-minimizing"]
+        > tput["decode-prioritizing"]
+        > tput["prefill-prioritizing"]
+    )
+    save_artifact("fig2_scheduling", render_fig2(result))

@@ -1,0 +1,13 @@
+"""Figure 4: disaggregation throughput mismatch (70B on 8x40GiB)."""
+
+from repro.experiments.fig4_disagg import render_fig4, run_fig4
+
+
+def test_fig4_disagg(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        run_fig4, kwargs={"num_requests": 200}, rounds=1, iterations=1
+    )
+    assert result.feasible_splits == ["4+4"]
+    assert result.mismatch_ratio >= 4.0  # paper: > 6x
+    assert result.decode_fraction_of_8gpu <= 0.40  # paper: ~15%
+    save_artifact("fig4_disagg", render_fig4(result))

@@ -1,0 +1,12 @@
+"""Figure 9: dataset length distributions."""
+
+from repro.experiments.fig9_datasets import render_fig9, run_fig9
+
+
+def test_fig9_datasets(benchmark, save_artifact):
+    result = benchmark.pedantic(run_fig9, rounds=3, iterations=1)
+    arxiv = result.stats["arxiv-summarization"]
+    chat = result.stats["sharegpt"]
+    assert arxiv.input_mean > 4 * arxiv.output_mean  # long in, short out
+    assert 0.3 < chat.decode_prefill_ratio < 1.5  # comparable lengths
+    save_artifact("fig9_datasets", render_fig9(result))

@@ -1,0 +1,9 @@
+"""Table 1: GPU hardware specification."""
+
+from repro.experiments.table1_hw import render_table1, run_table1
+
+
+def test_table1(benchmark, save_artifact):
+    rows = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    assert {r.gpu for r in rows} >= {"A10", "L4", "A100-SXM"}
+    save_artifact("table1_hardware", render_table1(rows))

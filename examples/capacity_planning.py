@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Capacity planning: which parallelism, which interconnect, which split?
+
+Uses the analytic predictor and the engines to answer three deployment
+questions without touching hardware:
+
+1. How does the optimal configuration shift with the workload's
+   output:input ratio? (Fig. 13)
+2. How much does interconnect bandwidth matter? (Fig. 14)
+3. Should I disaggregate prefill and decode on this cluster? (Fig. 4)
+
+Run:
+    python examples/capacity_planning.py
+"""
+
+from repro import get_model, make_cluster
+from repro.experiments.fig4_disagg import render_fig4, run_fig4
+from repro.experiments.fig13_dp_ratio import render_fig13, run_fig13
+from repro.experiments.fig14_bandwidth import render_fig14, run_fig14
+
+
+def main() -> None:
+    print("=== 1. Parallelism vs workload shape (70B, 8x A10) ===\n")
+    fig13 = run_fig13(num_requests=32)
+    print(render_fig13(fig13))
+    winners = {
+        f"{r:g}": fig13.best_static_at(i) for i, r in enumerate(fig13.ratios)
+    }
+    print(f"\nbest static config per D:P ratio: {winners}\n")
+
+    print("=== 2. Interconnect sensitivity (34B, 8x A10) ===\n")
+    fig14 = run_fig14(scales=(0.1, 1.0, 10.0), num_requests=32)
+    print(render_fig14(fig14))
+
+    print("\n=== 3. Disaggregation check (70B on 8x 40GiB A100) ===\n")
+    fig4 = run_fig4(num_requests=150)
+    print(render_fig4(fig4))
+    print(
+        "\nConclusion: with this model/cluster ratio, disaggregation leaves "
+        f"a {fig4.mismatch_ratio:.1f}x stage mismatch — re-sharding one "
+        "shared pool (Seesaw) uses the same GPUs without the bubble."
+    )
+
+
+if __name__ == "__main__":
+    main()

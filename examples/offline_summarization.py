@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Offline document summarization (the paper's arxiv-summarization scenario).
+
+Long prompts, short outputs — the regime where prefill dominates and tensor
+parallelism's all-reduce tax is most painful. This example uses the
+autotuner the way a deployment would:
+
+1. sweep every feasible static configuration for the baseline,
+2. tune the chunked-prefill chunk size,
+3. pick Seesaw's (cp, cd) pair,
+4. run all three and report.
+
+Run:
+    python examples/offline_summarization.py
+"""
+
+from repro import (
+    EngineOptions,
+    SeesawEngine,
+    VllmLikeEngine,
+    arxiv_workload,
+    best_seesaw_pair,
+    best_static_config,
+    get_model,
+    make_cluster,
+    tune_chunk_size,
+)
+from repro.analysis.breakdown import phase_breakdown_table
+from repro.analysis.report import comparison_table
+
+
+def main() -> None:
+    model = get_model("34b")
+    cluster = make_cluster("A10", 8)
+    workload = arxiv_workload(num_requests=150, seed=1)
+    print(f"Summarizing {workload.num_requests} documents "
+          f"(mean prompt {workload.total_input_tokens / workload.num_requests:.0f} "
+          f"tokens) on {cluster.describe()}\n")
+
+    static_cfg = best_static_config(model, cluster, workload, simulate_top=3)
+    chunk = tune_chunk_size(model, cluster, static_cfg, workload)
+    print(f"best static config: {static_cfg.label()} (chunk size {chunk})")
+
+    cp, cd = best_seesaw_pair(model, cluster, workload, simulate_top=3)
+    print(f"best seesaw pair  : {cp.label()} -> {cd.label()}\n")
+
+    results = {
+        f"vllm {static_cfg.label()}": VllmLikeEngine(
+            model, cluster, static_cfg
+        ).run(workload),
+        f"vllm {static_cfg.label()}+chunked": VllmLikeEngine(
+            model,
+            cluster,
+            static_cfg,
+            EngineOptions(chunked_prefill=True, chunk_size=chunk),
+        ).run(workload),
+        f"seesaw {cp.label()}->{cd.label()}": SeesawEngine(
+            model, cluster, cp, cd
+        ).run(workload),
+    }
+
+    print(comparison_table(results, title="End-to-end throughput"))
+    print()
+    print(phase_breakdown_table(results, title="Where the time goes (s)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Prints the ASCII equivalent of each artifact in order. Scaled-down request
+counts by default; pass --full for the paper's sizes (slower).
+
+Run:
+    python examples/reproduce_paper.py [--full]
+"""
+
+import argparse
+import time
+
+from repro.experiments import (
+    render_fig1,
+    render_fig2,
+    render_fig4,
+    render_fig9,
+    render_fig10,
+    render_fig11,
+    render_fig12,
+    render_fig13,
+    render_fig14,
+    render_fig15,
+    render_table1,
+    run_fig1,
+    run_fig2,
+    run_fig4,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+)
+
+
+def section(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="use the paper's request counts"
+    )
+    args = parser.parse_args()
+    t0 = time.time()
+
+    section("Table 1: GPU hardware specification")
+    print(render_table1())
+
+    section("Figure 1: prefill/decode breakdown (13B, 8x L4)")
+    print(render_fig1(run_fig1()))
+
+    section("Figure 2: scheduling policies (quantified)")
+    print(render_fig2(run_fig2(num_requests=600 if args.full else 300)))
+
+    section("Figure 4: disaggregation mismatch (70B, 8x 40GiB)")
+    print(render_fig4(run_fig4(num_requests=400 if args.full else 200)))
+
+    section("Figure 9: dataset length distributions")
+    print(render_fig9(run_fig9()))
+
+    section("Figure 10: end-to-end throughput on PCIe systems")
+    print(render_fig10(run_fig10(full_scale=args.full)))
+
+    section("Figure 11: A100 PCIe vs NVLink (70B)")
+    kwargs = (
+        dict(num_arxiv=500, num_sharegpt=2000)
+        if args.full
+        else dict(num_arxiv=60, num_sharegpt=150)
+    )
+    print(render_fig11(run_fig11(**kwargs)))
+
+    section("Figure 12: speedup breakdown (34B, arxiv, 4x A10)")
+    print(render_fig12(run_fig12(num_requests=500 if args.full else 100)))
+
+    section("Figure 13: throughput vs D:P ratio (70B, 8x A10)")
+    print(render_fig13(run_fig13(num_requests=64 if args.full else 32)))
+
+    section("Figure 14: throughput vs interconnect bandwidth (34B, 8x A10)")
+    print(render_fig14(run_fig14(num_requests=64 if args.full else 32)))
+
+    section("Figure 15: data parallelism and decode (appendix)")
+    print(render_fig15(run_fig15()))
+
+    print(f"\nAll artifacts regenerated in {time.time() - t0:.0f}s.")
+
+
+if __name__ == "__main__":
+    main()

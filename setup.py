@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs (environments without `wheel`).
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` in offline environments whose
+setuptools cannot build PEP-660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Result analysis: comparisons, normalization, phase breakdowns."""
+
+from repro.analysis.report import (
+    comparison_table,
+    normalized_throughputs,
+    speedup,
+    best_result,
+)
+from repro.analysis.breakdown import phase_breakdown_table, attributed_fractions
+
+__all__ = [
+    "comparison_table",
+    "normalized_throughputs",
+    "speedup",
+    "best_result",
+    "phase_breakdown_table",
+    "attributed_fractions",
+]

@@ -1,0 +1,45 @@
+"""Phase and roofline-component breakdowns of engine runs.
+
+Two views exist:
+
+- **phase breakdown** — wall time per scheduler phase (prefill / decode /
+  mixed / reshard / swap stall), the Fig. 12 view;
+- **attributed breakdown** — the cost model's device time projected onto
+  Fig. 1's categories (communication / compute / weight transfer).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.costmodel.breakdown import Breakdown
+from repro.runtime.metrics import EngineResult
+from repro.utils.tables import ascii_table
+
+PHASES = ("prefill", "mixed", "decode", "reshard", "swap_stall")
+
+
+def phase_breakdown_table(
+    results: Mapping[str, EngineResult], title: str | None = None
+) -> str:
+    """Per-phase wall time of several runs side by side (Fig. 12 layout)."""
+    headers = ["run"] + list(PHASES) + ["other", "total"]
+    rows = []
+    for key, r in results.items():
+        known = sum(r.phase_time.get(p, 0.0) for p in PHASES)
+        other = max(0.0, r.total_time - known)
+        rows.append(
+            [key]
+            + [f"{r.phase_time.get(p, 0.0):.1f}" for p in PHASES]
+            + [f"{other:.1f}", f"{r.total_time:.1f}"]
+        )
+    return ascii_table(headers, rows, title=title)
+
+
+def attributed_fractions(breakdown: Breakdown) -> dict[str, float]:
+    """Fractions of device time by Fig. 1 category (sums to 1)."""
+    attributed = breakdown.attributed()
+    total = sum(attributed.values())
+    if total <= 0:
+        return {k: 0.0 for k in attributed}
+    return {k: v / total for k, v in attributed.items()}

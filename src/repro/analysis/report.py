@@ -1,0 +1,66 @@
+"""Comparison reports over engine results.
+
+The paper reports *normalized throughput* (each bar divided by the best
+vLLM configuration); these helpers compute the same quantities from
+:class:`~repro.runtime.metrics.EngineResult` records and render them as
+ASCII tables/charts.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runtime.metrics import EngineResult
+from repro.utils.tables import ascii_table
+
+
+def speedup(candidate: EngineResult, baseline: EngineResult) -> float:
+    """Throughput ratio candidate/baseline (> 1 means faster)."""
+    return candidate.throughput_rps / baseline.throughput_rps
+
+
+def best_result(results: Sequence[EngineResult]) -> EngineResult:
+    """Highest-throughput run of a sweep."""
+    if not results:
+        raise ConfigurationError("no results to compare")
+    return max(results, key=lambda r: r.throughput_rps)
+
+
+def normalized_throughputs(
+    results: Mapping[str, EngineResult], baseline_key: str
+) -> dict[str, float]:
+    """Throughput of each run divided by the named baseline's."""
+    if baseline_key not in results:
+        raise ConfigurationError(f"baseline {baseline_key!r} not in results")
+    base = results[baseline_key].throughput_rps
+    return {k: r.throughput_rps / base for k, r in results.items()}
+
+
+def comparison_table(
+    results: Mapping[str, EngineResult],
+    baseline_key: str | None = None,
+    title: str | None = None,
+) -> str:
+    """Tabulate runs: throughput, tokens/s, phase times, normalized column."""
+    keys = list(results.keys())
+    base = (
+        results[baseline_key].throughput_rps
+        if baseline_key is not None
+        else max(r.throughput_rps for r in results.values())
+    )
+    headers = ["run", "req/s", "norm", "out-tok/s", "time(s)", "transitions"]
+    rows = []
+    for k in keys:
+        r = results[k]
+        rows.append(
+            [
+                k,
+                f"{r.throughput_rps:.4f}",
+                f"{r.throughput_rps / base:.2f}",
+                f"{r.throughput_tokens_per_s:.0f}",
+                f"{r.total_time:.1f}",
+                str(r.transitions),
+            ]
+        )
+    return ascii_table(headers, rows, title=title)

@@ -1,0 +1,34 @@
+"""Configuration autotuning: analytic prediction plus simulated validation.
+
+The predictor implements the paper's equation (2) (inverse-throughput
+model) on top of the step cost model; the search sweeps the feasible
+configuration space the way the paper's evaluation does — every static
+(DP, TP, PP) for the baseline, and every (cp, cd) pair with matching DP for
+Seesaw — optionally validating the analytic top-k by short simulation.
+"""
+
+from repro.autotuner.predictor import (
+    predict_prefill_rate,
+    predict_decode_rate,
+    predict_request_rate,
+    PredictedRates,
+)
+from repro.autotuner.search import (
+    best_static_config,
+    best_seesaw_pair,
+    tune_chunk_size,
+    rank_static_configs,
+    rank_seesaw_pairs,
+)
+
+__all__ = [
+    "predict_prefill_rate",
+    "predict_decode_rate",
+    "predict_request_rate",
+    "PredictedRates",
+    "best_static_config",
+    "best_seesaw_pair",
+    "tune_chunk_size",
+    "rank_static_configs",
+    "rank_seesaw_pairs",
+]

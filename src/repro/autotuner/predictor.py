@@ -1,0 +1,118 @@
+"""Analytic throughput prediction (the paper's Appendix A, eq. 1-2).
+
+Rates are predicted from workload length statistics alone — no simulation —
+which is what makes exhaustive configuration ranking cheap. The model:
+
+- **prefill rate** (tokens/s): a pipeline stage processes one micro-batch
+  of ``B`` prompt tokens per stage period, so the replica streams
+  ``B / T_stage`` tokens/s; DP replicas add up.
+- **decode rate** (tokens/s): the replica advances ``b_max`` sequences per
+  iteration period, where ``b_max`` is the KV-capacity-bound batch size of
+  Appendix A.3 — this is where TP/PP's super-linear and DP's linear batch
+  scaling enters.
+- **request rate**: one request costs ``in_len`` prefill tokens and
+  ``out_len`` decoded tokens; the stages serialize in a throughput-oriented
+  run, so the times add.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.step import StepCostModel
+from repro.errors import CapacityError
+from repro.hardware.cluster import ClusterSpec
+from repro.models.config import ModelConfig
+from repro.parallel.config import ParallelConfig
+from repro.parallel.memory import kv_capacity_tokens
+
+# Token budget of one prefill micro-batch used for rate prediction; matches
+# the engines' default ``max_batched_tokens``.
+PREFILL_MICROBATCH_TOKENS = 8192
+
+
+@dataclass(frozen=True)
+class PredictedRates:
+    """Analytic rates for one configuration on one workload shape."""
+
+    config: ParallelConfig
+    prefill_tokens_per_s: float
+    decode_tokens_per_s: float
+    request_rate: float
+    max_batch_size: int
+
+
+def predict_prefill_rate(
+    model: ModelConfig, cluster: ClusterSpec, cfg: ParallelConfig
+) -> float:
+    """Steady-state prefill token rate of the full configuration."""
+    from dataclasses import replace
+
+    replica = replace(cfg, dp=1)
+    costs = StepCostModel(model, cluster, replica)
+    b = PREFILL_MICROBATCH_TOKENS
+    stage = costs.prefill_stage_time([b])
+    return cfg.dp * b / stage.total
+
+
+def predict_decode_rate(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    cfg: ParallelConfig,
+    avg_context_len: float,
+    max_num_seqs: int = 512,
+    concurrency: int | None = None,
+) -> tuple[float, int]:
+    """Steady-state decode token rate and the batch size achieving it.
+
+    ``concurrency`` caps the batch at the replica's share of the in-flight
+    request population — with few requests the KV-capacity bound is not the
+    binding one, and the comm-vs-weight trade-off shifts (all-reduce volume
+    scales with batch; weight streaming does not).
+    """
+    from dataclasses import replace
+
+    replica = replace(cfg, dp=1)
+    costs = StepCostModel(model, cluster, replica)
+    capacity = kv_capacity_tokens(model, cluster, replica)
+    b_max = max(1, min(int(capacity / avg_context_len), max_num_seqs))
+    if concurrency is not None:
+        b_max = max(1, min(b_max, -(-concurrency // cfg.dp)))
+    iteration = costs.decode_iteration_time(b_max, int(b_max * avg_context_len))
+    return cfg.dp * b_max / iteration.total, b_max * cfg.dp
+
+
+def predict_request_rate(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    prefill_cfg: ParallelConfig,
+    decode_cfg: ParallelConfig,
+    avg_input_len: float,
+    avg_output_len: float,
+    max_num_seqs: int = 512,
+    concurrency: int | None = None,
+) -> PredictedRates:
+    """Requests/s when prefilling under one config and decoding under
+    another (pass the same config twice for a static engine).
+
+    Decode contexts average input plus half the output (sequences grow as
+    they decode). ``concurrency`` is the number of requests available to
+    batch (the workload size for offline runs).
+    """
+    if avg_input_len <= 0 or avg_output_len <= 0:
+        raise CapacityError("workload averages must be positive")
+    prefill_rate = predict_prefill_rate(model, cluster, prefill_cfg)
+    avg_ctx = avg_input_len + avg_output_len / 2.0
+    decode_rate, b_max = predict_decode_rate(
+        model, cluster, decode_cfg, avg_ctx, max_num_seqs, concurrency
+    )
+    seconds_per_request = (
+        avg_input_len / prefill_rate + max(0.0, avg_output_len - 1) / decode_rate
+    )
+    return PredictedRates(
+        config=decode_cfg,
+        prefill_tokens_per_s=prefill_rate,
+        decode_tokens_per_s=decode_rate,
+        request_rate=1.0 / seconds_per_request,
+        max_batch_size=b_max,
+    )

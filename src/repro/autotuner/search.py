@@ -1,0 +1,203 @@
+"""Configuration search: static sweeps and Seesaw (cp, cd) pairing.
+
+Mirrors the paper's methodology: the vLLM baseline sweeps *all* feasible
+single configurations and reports the best (Section 6.2), and Seesaw picks
+a prefill-optimal and a decode-optimal configuration pair. Ranking is
+analytic (cheap); ``simulate_top`` optionally re-ranks the analytic top-k
+with short engine runs on a workload subsample for fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autotuner.predictor import predict_request_rate
+from repro.engines.base import EngineOptions
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.cluster import ClusterSpec
+from repro.models.config import ModelConfig
+from repro.parallel.config import ParallelConfig
+from repro.parallel.enumerate import feasible_configs
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class RankedConfig:
+    """One configuration with its predicted request rate."""
+
+    config: ParallelConfig
+    predicted_rps: float
+
+
+@dataclass(frozen=True)
+class RankedPair:
+    """One Seesaw (prefill, decode) pair with its predicted request rate."""
+
+    prefill_config: ParallelConfig
+    decode_config: ParallelConfig
+    predicted_rps: float
+
+    def label(self) -> str:
+        return f"{self.prefill_config.label()}->{self.decode_config.label()}"
+
+
+def _workload_averages(workload: WorkloadSpec) -> tuple[float, float]:
+    n = workload.num_requests
+    return workload.total_input_tokens / n, workload.total_output_tokens / n
+
+
+def rank_static_configs(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    workload: WorkloadSpec,
+    *,
+    allow_dp: bool = True,
+    max_num_seqs: int = 512,
+) -> list[RankedConfig]:
+    """All feasible static configs, best predicted throughput first."""
+    avg_in, avg_out = _workload_averages(workload)
+    ranked: list[RankedConfig] = []
+    for cfg in feasible_configs(model, cluster, allow_dp=allow_dp):
+        try:
+            rates = predict_request_rate(
+                model, cluster, cfg, cfg, avg_in, avg_out, max_num_seqs,
+                concurrency=workload.num_requests,
+            )
+        except CapacityError:
+            continue
+        ranked.append(RankedConfig(config=cfg, predicted_rps=rates.request_rate))
+    if not ranked:
+        raise CapacityError(
+            f"no feasible configuration for {model.name} on {cluster.describe()}"
+        )
+    ranked.sort(key=lambda r: r.predicted_rps, reverse=True)
+    return ranked
+
+
+def rank_seesaw_pairs(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    workload: WorkloadSpec,
+    *,
+    allow_dp: bool = True,
+    max_num_seqs: int = 512,
+) -> list[RankedPair]:
+    """All (cp, cd) pairs with matching DP, best predicted rate first.
+
+    Seesaw keeps DP fixed across the transition (Section 4.1), so pairs are
+    formed within each DP group.
+    """
+    avg_in, avg_out = _workload_averages(workload)
+    configs = feasible_configs(model, cluster, allow_dp=allow_dp)
+    pairs: list[RankedPair] = []
+    for cp in configs:
+        for cd in configs:
+            if cp.dp != cd.dp:
+                continue
+            try:
+                rates = predict_request_rate(
+                    model, cluster, cp, cd, avg_in, avg_out, max_num_seqs,
+                    concurrency=workload.num_requests,
+                )
+            except CapacityError:
+                continue
+            pairs.append(
+                RankedPair(
+                    prefill_config=cp,
+                    decode_config=cd,
+                    predicted_rps=rates.request_rate,
+                )
+            )
+    if not pairs:
+        raise CapacityError(
+            f"no feasible Seesaw pair for {model.name} on {cluster.describe()}"
+        )
+    pairs.sort(key=lambda p: p.predicted_rps, reverse=True)
+    return pairs
+
+
+def best_static_config(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    workload: WorkloadSpec,
+    *,
+    allow_dp: bool = True,
+    simulate_top: int = 0,
+    sample_requests: int = 64,
+    options: EngineOptions | None = None,
+) -> ParallelConfig:
+    """Best static configuration; optionally re-rank analytic top-k by
+    simulating a workload subsample with the vLLM-like engine."""
+    ranked = rank_static_configs(model, cluster, workload, allow_dp=allow_dp)
+    if simulate_top <= 1:
+        return ranked[0].config
+    from repro.engines.vllm_like import VllmLikeEngine
+
+    sample = workload.subset(min(sample_requests, workload.num_requests))
+    best_cfg, best_rps = None, -1.0
+    for cand in ranked[:simulate_top]:
+        engine = VllmLikeEngine(model, cluster, cand.config, options)
+        rps = engine.run(sample).throughput_rps
+        if rps > best_rps:
+            best_cfg, best_rps = cand.config, rps
+    assert best_cfg is not None
+    return best_cfg
+
+
+def best_seesaw_pair(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    workload: WorkloadSpec,
+    *,
+    allow_dp: bool = True,
+    simulate_top: int = 0,
+    sample_requests: int = 64,
+) -> tuple[ParallelConfig, ParallelConfig]:
+    """Best (cp, cd) pair; optionally validated by short simulation."""
+    ranked = rank_seesaw_pairs(model, cluster, workload, allow_dp=allow_dp)
+    if simulate_top <= 1:
+        top = ranked[0]
+        return top.prefill_config, top.decode_config
+    from repro.core.engine import SeesawEngine
+
+    sample = workload.subset(min(sample_requests, workload.num_requests))
+    best, best_rps = None, -1.0
+    for cand in ranked[:simulate_top]:
+        engine = SeesawEngine(
+            model, cluster, cand.prefill_config, cand.decode_config
+        )
+        rps = engine.run(sample).throughput_rps
+        if rps > best_rps:
+            best, best_rps = cand, rps
+    assert best is not None
+    return best.prefill_config, best.decode_config
+
+
+def tune_chunk_size(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    config: ParallelConfig,
+    workload: WorkloadSpec,
+    *,
+    candidates: tuple[int, ...] = (512, 1024, 2048, 4096),
+    sample_requests: int = 48,
+) -> int:
+    """Pick the chunked-prefill chunk size by short simulation.
+
+    The paper tunes vLLM's chunk size per workload ('otherwise suboptimal
+    chunk sizes would cause severe throughput degradation'); this helper is
+    that tuning loop.
+    """
+    if not candidates:
+        raise ConfigurationError("need at least one chunk-size candidate")
+    from repro.engines.vllm_like import VllmLikeEngine
+
+    sample = workload.subset(min(sample_requests, workload.num_requests))
+    best_size, best_rps = candidates[0], -1.0
+    for size in candidates:
+        options = EngineOptions(chunked_prefill=True, chunk_size=size)
+        engine = VllmLikeEngine(model, cluster, config, options)
+        rps = engine.run(sample).throughput_rps
+        if rps > best_rps:
+            best_size, best_rps = size, rps
+    return best_size

@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``      — run one engine on one workload and print the summary.
+- ``compare``  — vLLM-best vs Seesaw-best on a (gpu, model, dataset) cell.
+- ``sweep``    — throughput of every feasible static config plus Seesaw.
+- ``reproduce``— regenerate a named paper artifact (fig1, fig4, ...).
+- ``predict``  — analytic rates for a configuration (no simulation).
+
+All commands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.report import comparison_table
+from repro.autotuner.search import (
+    best_seesaw_pair,
+    best_static_config,
+    rank_static_configs,
+    tune_chunk_size,
+)
+from repro.core.engine import SeesawEngine
+from repro.engines.base import EngineOptions
+from repro.engines.vllm_like import VllmLikeEngine
+from repro.errors import ReproError
+from repro.hardware.cluster import make_cluster
+from repro.models.registry import get_model
+from repro.parallel.config import parse_config, parse_transition
+from repro.runtime.metrics import EngineResult
+from repro.runtime.trace import render_timeline
+from repro.workloads.datasets import sample_dataset
+from repro.workloads.synthetic import constant_workload
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="34b", help="model name or alias (default 34b)")
+    parser.add_argument("--gpu", default="A10", help="GPU model (default A10)")
+    parser.add_argument("--num-gpus", type=int, default=8)
+    parser.add_argument(
+        "--dataset",
+        default="sharegpt",
+        help="sharegpt | arxiv | const:<prompt>x<output>",
+    )
+    parser.add_argument("--num-requests", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _make_workload(args: argparse.Namespace):
+    if args.dataset.startswith("const:"):
+        spec = args.dataset.split(":", 1)[1]
+        prompt, output = (int(x) for x in spec.lower().split("x"))
+        return constant_workload(args.num_requests, prompt, output)
+    return sample_dataset(args.dataset, num_requests=args.num_requests, seed=args.seed)
+
+
+def _print_result(result: EngineResult) -> None:
+    print(result.describe())
+    print(comparison_table({result.label: result}))
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    cluster = make_cluster(args.gpu, args.num_gpus)
+    workload = _make_workload(args)
+    options = EngineOptions(
+        chunked_prefill=args.chunked, chunk_size=args.chunk_size, trace=args.timeline
+    )
+    if "->" in args.config:
+        from repro.core.options import SeesawOptions
+
+        cp, cd = parse_transition(args.config)
+        seesaw_opts = SeesawOptions(
+            chunked_prefill=False, chunk_size=args.chunk_size, trace=args.timeline
+        )
+        engine = SeesawEngine(model, cluster, cp, cd, seesaw_opts)
+    else:
+        engine = VllmLikeEngine(model, cluster, parse_config(args.config), options)
+    result = engine.run(workload)
+    _print_result(result)
+    if args.timeline and engine.last_trace.enabled:
+        print()
+        print(render_timeline(engine.last_trace))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    cluster = make_cluster(args.gpu, args.num_gpus)
+    workload = _make_workload(args)
+    static_cfg = best_static_config(model, cluster, workload, simulate_top=3)
+    chunk = tune_chunk_size(model, cluster, static_cfg, workload)
+    vllm = VllmLikeEngine(
+        model,
+        cluster,
+        static_cfg,
+        EngineOptions(chunked_prefill=True, chunk_size=chunk),
+    ).run(workload)
+    vllm_plain = VllmLikeEngine(model, cluster, static_cfg).run(workload)
+    if vllm_plain.throughput_rps > vllm.throughput_rps:
+        vllm = vllm_plain
+    cp, cd = best_seesaw_pair(model, cluster, workload, simulate_top=3)
+    seesaw = SeesawEngine(model, cluster, cp, cd).run(workload)
+    print(
+        comparison_table(
+            {f"vllm {vllm.label}": vllm, f"seesaw {seesaw.label}": seesaw},
+            baseline_key=f"vllm {vllm.label}",
+            title=f"{args.model} / {args.dataset} on {cluster.describe()}",
+        )
+    )
+    print(f"speedup: {seesaw.throughput_rps / vllm.throughput_rps:.2f}x")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    cluster = make_cluster(args.gpu, args.num_gpus)
+    workload = _make_workload(args)
+    results: dict[str, EngineResult] = {}
+    for ranked in rank_static_configs(model, cluster, workload):
+        engine = VllmLikeEngine(model, cluster, ranked.config)
+        results[ranked.config.label()] = engine.run(workload)
+    cp, cd = best_seesaw_pair(model, cluster, workload, simulate_top=3)
+    seesaw = SeesawEngine(model, cluster, cp, cd).run(workload)
+    results[f"seesaw {seesaw.label}"] = seesaw
+    best_static = max(
+        (k for k in results if not k.startswith("seesaw")),
+        key=lambda k: results[k].throughput_rps,
+    )
+    print(
+        comparison_table(
+            results,
+            baseline_key=best_static,
+            title=f"Static sweep + Seesaw ({args.model}, {args.dataset})",
+        )
+    )
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from repro.autotuner.predictor import predict_request_rate
+
+    model = get_model(args.model)
+    cluster = make_cluster(args.gpu, args.num_gpus)
+    if "->" in args.config:
+        cp, cd = parse_transition(args.config)
+    else:
+        cp = cd = parse_config(args.config)
+    rates = predict_request_rate(
+        model, cluster, cp, cd, args.input_len, args.output_len
+    )
+    print(f"config            : {cp.label()} -> {cd.label()}")
+    print(f"prefill rate      : {rates.prefill_tokens_per_s:,.0f} tok/s")
+    print(f"decode rate       : {rates.decode_tokens_per_s:,.0f} tok/s")
+    print(f"max decode batch  : {rates.max_batch_size}")
+    print(f"predicted req rate: {rates.request_rate:.3f} req/s")
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro import experiments as ex
+
+    artifacts = {
+        "table1": lambda: ex.render_table1(),
+        "fig1": lambda: ex.render_fig1(ex.run_fig1()),
+        "fig2": lambda: ex.render_fig2(ex.run_fig2(num_requests=300)),
+        "fig4": lambda: ex.render_fig4(ex.run_fig4(num_requests=200)),
+        "fig9": lambda: ex.render_fig9(ex.run_fig9()),
+        "fig10": lambda: ex.render_fig10(ex.run_fig10()),
+        "fig11": lambda: ex.render_fig11(
+            ex.run_fig11(num_arxiv=60, num_sharegpt=150)
+        ),
+        "fig12": lambda: ex.render_fig12(ex.run_fig12(num_requests=100)),
+        "fig13": lambda: ex.render_fig13(ex.run_fig13(num_requests=32)),
+        "fig14": lambda: ex.render_fig14(ex.run_fig14(num_requests=32)),
+        "fig15": lambda: ex.render_fig15(ex.run_fig15()),
+    }
+    if args.artifact not in artifacts:
+        print(
+            f"unknown artifact {args.artifact!r}; one of {sorted(artifacts)}",
+            file=sys.stderr,
+        )
+        return 2
+    print(artifacts[args.artifact]())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Seesaw reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one engine configuration")
+    _add_common(p_run)
+    p_run.add_argument(
+        "--config",
+        default="T4P2",
+        help="static label (T4P2) or Seesaw transition (P8->T4P2)",
+    )
+    p_run.add_argument("--chunked", action="store_true", help="chunked prefill")
+    p_run.add_argument("--chunk-size", type=int, default=2048)
+    p_run.add_argument(
+        "--timeline", action="store_true", help="print the schedule timeline"
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="vLLM-best vs Seesaw-best")
+    _add_common(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_sweep = sub.add_parser("sweep", help="all static configs + Seesaw")
+    _add_common(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_pred = sub.add_parser("predict", help="analytic rates, no simulation")
+    _add_common(p_pred)
+    p_pred.add_argument("--config", default="P8->T4P2")
+    p_pred.add_argument("--input-len", type=float, default=2000)
+    p_pred.add_argument("--output-len", type=float, default=200)
+    p_pred.set_defaults(func=cmd_predict)
+
+    p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
+    p_repro.add_argument("artifact", help="table1 | fig1 | fig2 | ... | fig15")
+    p_repro.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Seesaw: the paper's primary contribution.
+
+:class:`SeesawEngine` runs prefill and decode under *different* parallel
+configurations, switching between them with dynamic model re-sharding
+(Section 4.1). Tiered KV cache buffering parks prefilled KV in CPU memory
+and transition-minimizing scheduling switches stages only when that buffer
+fills or drains (Section 4.2); the asynchronous swap pipeline overlaps the
+resulting transfers with computation (Section 5.2).
+"""
+
+from repro.core.engine import SeesawEngine
+from repro.core.options import SeesawOptions
+from repro.core.state import SeesawState
+
+__all__ = ["SeesawEngine", "SeesawOptions", "SeesawState"]

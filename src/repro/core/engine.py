@@ -1,0 +1,455 @@
+"""The Seesaw inference engine (Sections 4 and 5 of the paper).
+
+Execution alternates between a *prefill phase* under configuration ``cp``
+and a *decode phase* under ``cd``:
+
+1. **Prefill phase** — prompts stream through the (typically pipeline-
+   parallel) cluster in micro-batches; each finished prompt's KV is pushed
+   to the CPU pool over the d2h channel, overlapped with compute. The phase
+   ends when the CPU pool is full, GPU staging space runs out, or no
+   prompts remain (transition-minimizing scheduling).
+2. **Re-shard** — every GPU reloads its ``cd`` weight shard from CPU
+   memory; KV needs no extra pass because the shared CPU pool already holds
+   it unsharded (each GPU later pulls its own ``cd`` shard on swap-in).
+3. **Decode phase** — continuous batching at the full GPU batch size; the
+   prefetcher swaps sequences in from the CPU pool as blocks free up,
+   overlapped with decode compute. The phase ends when the pool has
+   drained (back to 1) or everything finished.
+
+The ablation flags in :class:`SeesawOptions` disable the tiered buffer,
+the overlap pipeline, or transition-minimizing scheduling individually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.options import SeesawOptions
+from repro.core.state import SeesawState
+from repro.costmodel.step import ITERATION_OVERHEAD, StepCostModel
+from repro.engines.base import BaseEngine, ReplicaState
+from repro.errors import CapacityError, ConfigurationError, SchedulingError
+from repro.hardware.cluster import ClusterSpec
+from repro.models.config import ModelConfig
+from repro.parallel.config import ParallelConfig, transition_label
+from repro.parallel.memory import kv_capacity_tokens
+from repro.parallel.resharding import plan_reshard
+from repro.runtime.kvcache import KVCacheManager
+from repro.runtime.metrics import EngineResult, RunMetrics
+from repro.runtime.request import Request, Sequence, SequenceState
+
+
+class SeesawEngine(BaseEngine):
+    """Dynamic model re-sharding engine: ``cp`` for prefill, ``cd`` for decode."""
+
+    name = "seesaw"
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        cluster: ClusterSpec,
+        prefill_config: ParallelConfig,
+        decode_config: ParallelConfig,
+        options: SeesawOptions | None = None,
+    ) -> None:
+        if prefill_config.dp != decode_config.dp:
+            raise ConfigurationError(
+                "Seesaw does not re-shard data parallelism (Section 4.1): "
+                f"cp.dp={prefill_config.dp} != cd.dp={decode_config.dp}"
+            )
+        if prefill_config.num_gpus != decode_config.num_gpus:
+            raise ConfigurationError(
+                "prefill and decode configurations must occupy the same GPUs"
+            )
+        super().__init__(model, cluster, decode_config, options or SeesawOptions())
+        if not isinstance(self.options, SeesawOptions):
+            self.options = SeesawOptions()  # pragma: no cover - defensive
+        self.prefill_config = prefill_config
+        self.decode_config = decode_config
+
+    def label(self) -> str:
+        return transition_label(self.prefill_config, self.decode_config)
+
+    def _decode_costs(self) -> StepCostModel:
+        """Cached decode-config cost model (used by preemption)."""
+        cached = getattr(self, "_decode_costs_cache", None)
+        if cached is None:
+            cached = StepCostModel(
+                self.model,
+                self.cluster,
+                replace(self.decode_config, dp=1),
+                kv_layout=self.options.kv_layout,
+            )
+            self._decode_costs_cache = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # Replica simulation
+    # ------------------------------------------------------------------ #
+
+    def _run_replica(self, requests: list[Request], replica_id: int) -> EngineResult:
+        opts: SeesawOptions = self.options  # type: ignore[assignment]
+        cp = replace(self.prefill_config, dp=1)
+        cd = replace(self.decode_config, dp=1)
+        costs_p = StepCostModel(self.model, self.cluster, cp, kv_layout=opts.kv_layout)
+        costs_d = StepCostModel(self.model, self.cluster, cd, kv_layout=opts.kv_layout)
+
+        capacity = min(
+            kv_capacity_tokens(self.model, self.cluster, cp),
+            kv_capacity_tokens(self.model, self.cluster, cd),
+        )
+        kv = KVCacheManager(capacity_tokens=capacity, block_size=opts.block_size)
+        cpu_bytes = self.cluster.cpu_memory_per_gpu * cp.model_gpus
+        cpu_tokens = (
+            int(cpu_bytes // self.model.kv_bytes_per_token)
+            if opts.use_cpu_buffer
+            else 0
+        )
+        state = SeesawState(requests, kv, cpu_capacity_tokens=cpu_tokens)
+        metrics = RunMetrics()
+        now = 0.0
+        current = cp  # initial weights are laid out for prefill
+
+        if not opts.use_cpu_buffer:
+            return self._run_without_buffer(state, costs_p, costs_d, metrics, requests)
+
+        guard = 0
+        while not state.all_work_done:
+            guard += 1
+            if guard > 40 * len(requests) + 256:
+                raise SchedulingError("Seesaw phase loop made no progress")
+
+            if self._can_prefill(state):
+                now, current = self._reshard(now, current, cp, costs_p, metrics, state)
+                now = self._prefill_phase(state, costs_p, metrics, now)
+
+            if state.running or state.cpu_has_sequences or state.inflight:
+                now, current = self._reshard(now, current, cd, costs_d, metrics, state)
+                now = self._decode_phase(state, costs_d, metrics, now)
+            elif state.waiting and not self._can_prefill(state):
+                head = state.waiting[0]
+                raise CapacityError(
+                    f"prompt of {head.remaining_prefill} tokens fits neither the "
+                    f"CPU pool ({state.cpu.capacity_tokens} tokens) nor GPU KV "
+                    f"({state.kv.capacity_tokens} tokens)"
+                )
+
+        return self.result_from(requests, metrics, now)
+
+    # ------------------------------------------------------------------ #
+    # Phase predicates and transitions
+    # ------------------------------------------------------------------ #
+
+    def _can_prefill(self, state: SeesawState) -> bool:
+        """Whether the prefill phase could make progress right now."""
+        if not state.waiting:
+            return False
+        head = state.waiting[0]
+        need = head.remaining_prefill + 1
+        return state.cpu.fits(need) and state.kv.can_allocate(need)
+
+    def _reshard(
+        self,
+        now: float,
+        current: ParallelConfig,
+        target: ParallelConfig,
+        costs: StepCostModel,
+        metrics: RunMetrics,
+        state: SeesawState,
+    ) -> tuple[float, ParallelConfig]:
+        """Switch the cluster's sharding to ``target`` if needed.
+
+        The weight reload shares the host links with KV traffic, so it
+        waits for both channels to drain; reloads then run in parallel
+        across GPUs.
+        """
+        opts: SeesawOptions = self.options  # type: ignore[assignment]
+        if current == target:
+            return now, current
+        plan = plan_reshard(
+            self.model, current, target, reuse_overlap=opts.reuse_weight_overlap
+        )
+        start = max(now, state.d2h.free_at, state.h2d.free_at)
+        elapsed = (start - now) + plan.transfer_time(self.cluster)
+        self.record_event(
+            "reshard", now, elapsed, resident_seqs=len(state.running)
+        )
+        metrics.add_phase("reshard", elapsed)
+        metrics.transitions += 1
+        metrics.resharded_bytes += plan.total_transfer_bytes
+        now = now + elapsed
+        state.d2h.idle_until(now)
+        state.h2d.idle_until(now)
+        return now, target
+
+    # ------------------------------------------------------------------ #
+    # Prefill phase
+    # ------------------------------------------------------------------ #
+
+    def _prefill_phase(
+        self, state: SeesawState, costs: StepCostModel, metrics: RunMetrics, now: float
+    ) -> float:
+        """Stream prefill micro-batches until the CPU pool fills (or GPU
+        staging or the request queue runs out). KV swap-outs ride the d2h
+        channel; with the async pipeline the phase only waits for them at
+        the end (the re-shard needs quiesced links)."""
+        opts: SeesawOptions = self.options  # type: ignore[assignment]
+        pp = costs.config.pp
+        last_stage_total = 0.0
+        processed_any = False
+
+        while state.waiting:
+            microbatch = self._admit_prefill_microbatch(state)
+            if not microbatch:
+                break
+            lens = [s.remaining_prefill for s in microbatch]
+            stage = costs.prefill_stage_time(lens)
+            last_stage_total = stage.total
+            # Steady-state stream: one micro-batch retires per stage time.
+            elapsed = stage.total + ITERATION_OVERHEAD
+            self.record_event(
+                "prefill",
+                now,
+                elapsed,
+                num_seqs=len(microbatch),
+                tokens=sum(lens),
+                resident_seqs=len(state.running),
+            )
+            now += elapsed
+            metrics.add_phase("prefill", elapsed, stage.scale(pp))
+            metrics.iterations += 1
+            processed_any = True
+
+            swap_tokens = 0
+            for seq in microbatch:
+                seq.advance_prefill(seq.remaining_prefill)
+                seq.prefill_end_time = now
+                if seq.remaining_decode == 0:
+                    # Prefill produced the only requested token; no reason
+                    # to park the KV for a decode that will never happen.
+                    state.kv.free(seq.seq_id)
+                    seq.mark_finished(now)
+                    state.finished.append(seq)
+                    continue
+                if self.prefill_config == self.decode_config:
+                    # Degenerate pair: nothing will be re-sharded, so the
+                    # KV can stay resident and decode directly (the CPU
+                    # pool is still available to absorb overflow via
+                    # preemption). This recovers plain continuous batching.
+                    seq.state = SequenceState.RUNNING
+                    state.running.append(seq)
+                    continue
+                state.kv.free(seq.seq_id)
+                parked = seq.prefill_target
+                seq.state = SequenceState.PREFILLED_CPU
+                state.park_in_cpu(seq, parked)
+                swap_tokens += parked
+            swap_t = costs.kv_swap_time(swap_tokens)
+            if swap_tokens:
+                self.record_event(
+                    "swap_out", now, swap_t, num_seqs=len(microbatch), tokens=swap_tokens
+                )
+            if opts.overlap_swap:
+                state.d2h.submit(now, swap_t)
+            else:
+                now = state.d2h.submit(now, swap_t)
+            metrics.swapped_out_tokens += swap_tokens
+
+            if opts.eager_transitions:
+                break  # Fig. 2(a) ablation: hop back to decode immediately
+
+        if processed_any and pp > 1:
+            # Drain the pipeline for the final micro-batch.
+            ramp = (pp - 1) * last_stage_total
+            now += ramp
+            metrics.add_phase("prefill", ramp)
+        if opts.overlap_swap and state.d2h.free_at > now:
+            # Swap-outs that outlived compute stall the transition.
+            stall = state.d2h.free_at - now
+            metrics.add_phase("swap_stall", stall)
+            now = state.d2h.free_at
+        return now
+
+    def _admit_prefill_microbatch(self, state: SeesawState) -> list[Sequence]:
+        """Pull waiting prompts into one micro-batch, bounded by the token
+        budget, GPU staging space and CPU pool space."""
+        opts: SeesawOptions = self.options  # type: ignore[assignment]
+        microbatch: list[Sequence] = []
+        used = 0
+        cpu_pending = 0  # tokens this micro-batch will park in the CPU pool
+        while state.waiting:
+            seq = state.waiting[0]
+            tokens = seq.remaining_prefill
+            need = tokens + 1
+            if microbatch and used + tokens > opts.max_batched_tokens:
+                break
+            if not state.cpu.fits(cpu_pending + seq.prefill_target):
+                break
+            if not state.kv.can_allocate(need):
+                break
+            state.kv.allocate(seq.seq_id, need)
+            state.waiting.popleft()
+            seq.state = SequenceState.PREFILLING
+            microbatch.append(seq)
+            used += tokens
+            cpu_pending += seq.prefill_target
+            if used >= opts.max_batched_tokens:
+                break
+        return microbatch
+
+    # ------------------------------------------------------------------ #
+    # Decode phase
+    # ------------------------------------------------------------------ #
+
+    def _decode_phase(
+        self, state: SeesawState, costs: StepCostModel, metrics: RunMetrics, now: float
+    ) -> float:
+        """Continuous batching with the swap-in prefetcher until the CPU
+        pool drains (then back to prefill if work remains) or every
+        resident sequence finishes."""
+        opts: SeesawOptions = self.options  # type: ignore[assignment]
+        state.h2d.idle_until(now)
+
+        while True:
+            now = self._launch_prefetches(state, costs, metrics, now)
+            for seq in state.arrived_inflight(now):
+                seq.state = SequenceState.RUNNING
+                state.running.append(seq)
+            state.finish_ready(now)
+
+            if not state.running:
+                if state.inflight:
+                    stall = state.next_arrival - now
+                    if stall > 0:
+                        metrics.add_phase("swap_stall", stall)
+                        now = state.next_arrival
+                    continue
+                if state.cpu_has_sequences:
+                    raise CapacityError(
+                        "CPU pool holds sequences the GPU KV cache cannot fit"
+                    )
+                break
+
+            now = self.decode_step(state, costs, metrics, now)
+
+            if (
+                not state.cpu_has_sequences
+                and not state.inflight
+                and state.waiting
+                and not opts.eager_transitions
+            ):
+                if self._can_prefill(state):
+                    break  # transition-minimizing: pool drained, go prefill
+            if opts.eager_transitions and state.waiting and self._can_prefill(state):
+                break  # Fig. 2(a) ablation: eager hop to prefill
+            if not state.running and not state.inflight and not state.cpu_has_sequences:
+                break
+        return now
+
+    def _launch_prefetches(
+        self, state: SeesawState, costs: StepCostModel, metrics: RunMetrics, now: float
+    ) -> float:
+        """Start swap-ins for CPU-pooled sequences while GPU blocks last.
+
+        Admission keeps :attr:`SeesawOptions.staging_tokens` free so the
+        next prefill phase has working space even with decodes resident.
+        Returns the (possibly advanced) clock — synchronous transfers block
+        compute when the async pipeline is disabled.
+        """
+        opts: SeesawOptions = self.options  # type: ignore[assignment]
+        while state.cpu_has_sequences:
+            if len(state.running) + len(state.inflight) >= opts.max_num_seqs:
+                break
+            _, tokens = state.cpu.peek()
+            need = tokens + 1
+            if state.kv.free_tokens - need < opts.staging_tokens and (
+                state.running or state.inflight
+            ):
+                break
+            if not state.kv.can_allocate(need):
+                break
+            seq, _ = state.pop_cpu_head()
+            state.kv.allocate(seq.seq_id, need)
+            seq.state = SequenceState.SWAPPING_IN
+            swap_t = costs.kv_swap_time(tokens)
+            self.record_event("swap_in", now, swap_t, num_seqs=1, tokens=tokens)
+            arrival = state.h2d.submit(now, swap_t)
+            if not opts.overlap_swap:
+                metrics.add_phase("swap_stall", arrival - now)
+                now = arrival
+            state.inflight.append((seq, arrival))
+            metrics.swapped_in_tokens += tokens
+        return now
+
+    # ------------------------------------------------------------------ #
+    # Preemption: swap out to the CPU pool instead of recompute
+    # ------------------------------------------------------------------ #
+
+    def preempt(
+        self, state: ReplicaState, victim: Sequence, now: float, metrics: RunMetrics
+    ) -> None:
+        """Seesaw preempts by swapping the victim's KV back to the CPU pool
+        (it rejoins FIFO later); recompute is the fallback if the pool is
+        full."""
+        assert isinstance(state, SeesawState)
+        tokens = victim.context_len
+        state.kv.free(victim.seq_id)
+        state.running.remove(victim)
+        if state.cpu.fits(tokens):
+            victim.state = SequenceState.PREFILLED_CPU
+            state.park_in_cpu(victim, tokens)
+            swap_t = self._decode_costs().kv_swap_time(tokens)
+            state.d2h.submit(now, swap_t)
+            metrics.swapped_out_tokens += tokens
+        else:
+            victim.preempt_recompute()
+            state.waiting.appendleft(victim)
+
+    # ------------------------------------------------------------------ #
+    # Ablation: no CPU buffer (re-sharding with decode-prioritized batches)
+    # ------------------------------------------------------------------ #
+
+    def _run_without_buffer(
+        self,
+        state: SeesawState,
+        costs_p: StepCostModel,
+        costs_d: StepCostModel,
+        metrics: RunMetrics,
+        requests: list[Request],
+    ) -> EngineResult:
+        """Without tiered buffering, re-sharding can only amortize over the
+        sequences GPU memory holds at once: admit a GPU-sized batch,
+        prefill under cp, re-shard, decode it to completion, re-shard back."""
+        now = 0.0
+        current = replace(self.prefill_config, dp=1)
+        cp, cd = current, replace(self.decode_config, dp=1)
+        while state.waiting or state.running:
+            now, current = self._reshard(now, current, cp, costs_p, metrics, state)
+            admitted: list[Sequence] = []
+            while state.waiting and len(admitted) < self.options.max_num_seqs:
+                seq = state.waiting[0]
+                if not state.kv.can_allocate(seq.final_context_len):
+                    break
+                state.kv.allocate(seq.seq_id, seq.final_context_len)
+                state.waiting.popleft()
+                admitted.append(seq)
+            if not admitted and not state.running:
+                head = state.waiting[0]
+                raise CapacityError(
+                    f"request needs {head.final_context_len} KV tokens, "
+                    f"capacity {state.kv.capacity_tokens}"
+                )
+            microbatches = self.form_prefill_microbatches(admitted)
+            wall, device = self.prefill_time(costs_p, microbatches)
+            now += wall
+            metrics.add_phase("prefill", wall, device)
+            for seq in admitted:
+                seq.advance_prefill(seq.remaining_prefill)
+                seq.state = SequenceState.RUNNING
+                seq.prefill_end_time = now
+                state.running.append(seq)
+            state.finish_ready(now)
+            now, current = self._reshard(now, current, cd, costs_d, metrics, state)
+            while state.running:
+                now = self.decode_step(state, costs_d, metrics, now)
+        return self.result_from(requests, metrics, now)

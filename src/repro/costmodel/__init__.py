@@ -1,0 +1,30 @@
+"""Analytical cost model (the paper's Appendix A, executable).
+
+Per-forward-pass time decomposes into linear-layer data movement, linear
+compute, attention data movement, attention compute, and communication, with
+the roofline combination ``max(T_dm, T_comp)`` per operator class plus the
+all-reduce term. The :class:`StepCostModel` facade binds a (model, cluster,
+parallel config) triple and answers the questions engines ask: how long is
+one prefill micro-batch stage, one decode iteration, one KV swap, one weight
+re-shard.
+"""
+
+from repro.costmodel.breakdown import Breakdown
+from repro.costmodel.roofline import layer_time, ATTN_COMPUTE_EFFICIENCY
+from repro.costmodel.pipeline import pipeline_time, steady_state_period
+from repro.costmodel.transfer import (
+    TransferModel,
+    KVLayout,
+)
+from repro.costmodel.step import StepCostModel
+
+__all__ = [
+    "Breakdown",
+    "layer_time",
+    "ATTN_COMPUTE_EFFICIENCY",
+    "pipeline_time",
+    "steady_state_period",
+    "TransferModel",
+    "KVLayout",
+    "StepCostModel",
+]

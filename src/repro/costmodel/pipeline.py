@@ -1,0 +1,58 @@
+"""Pipeline-parallel timing: ramp-up/drain and steady-state periods.
+
+With ``pp`` stages and ``m`` micro-batches of (approximately) equal stage
+time ``t``, total completion time is the classic pipeline formula
+
+    T = (pp - 1 + m) * t
+
+— ``pp - 1`` bubbles to fill the pipeline, then one micro-batch retires per
+``t``. In steady state (a long stream of micro-batches), throughput is one
+micro-batch per ``t``; a *decode iteration* that advances every in-flight
+sequence one token consumes ``pp`` micro-batch slots, which is where the
+paper's weight-reload amplification comes from (each device re-streams its
+weights once per micro-batch, hence ``pp`` times per global batch).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def pipeline_time(stage_time: float, pp: int, num_microbatches: int) -> float:
+    """Completion time of ``num_microbatches`` through ``pp`` equal stages."""
+    if pp < 1 or num_microbatches < 0:
+        raise ConfigurationError("pp >= 1 and num_microbatches >= 0 required")
+    if num_microbatches == 0:
+        return 0.0
+    return (pp - 1 + num_microbatches) * stage_time
+
+
+def pipeline_time_heterogeneous(stage_times: Sequence[float], pp: int) -> float:
+    """Completion time for micro-batches with *different* stage times.
+
+    The pipeline is rate-limited by each micro-batch's own stage time as it
+    marches through; with non-uniform micro-batches the completion time is
+    the sum of the per-micro-batch stage times plus the fill bubble of the
+    first one: ``sum(t_i) + (pp - 1) * t_last`` is exact for a linear
+    pipeline where every stage of micro-batch ``i`` costs ``t_i``.
+    """
+    if pp < 1:
+        raise ConfigurationError("pp >= 1 required")
+    times = list(stage_times)
+    if not times:
+        return 0.0
+    return sum(times) + (pp - 1) * times[-1]
+
+
+def steady_state_period(stage_time: float, pp: int) -> float:
+    """Time per decode iteration (all sequences advance one token).
+
+    A global batch is split into ``pp`` mutually-exclusive micro-batches;
+    all of them must pass through the last stage, taking ``pp`` stage
+    periods in steady state.
+    """
+    if pp < 1:
+        raise ConfigurationError("pp >= 1 required")
+    return pp * stage_time

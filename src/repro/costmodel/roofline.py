@@ -1,0 +1,105 @@
+"""Per-layer roofline cost (Table 3 of the paper, executable).
+
+One decoder layer's forward-pass time on one GPU under tensor parallelism
+degree ``tp``:
+
+    T = max(T_linear_dm, T_linear_comp) + max(T_attn_dm, T_attn_comp)
+        + T_nw(tp) + overhead
+
+- ``T_linear_dm``   : layer weights (2W / tp bytes) streamed from HBM.
+- ``T_linear_comp`` : 2W * tokens / tp FLOPs of dense projections.
+- ``T_attn_dm``     : Q/K/V traffic (prefill) or KV-cache reads (decode).
+- ``T_attn_comp``   : attention score/value FLOPs.
+- ``T_nw``          : two all-reduces of the activation per layer when
+                      tp > 1 (post-attention and post-MLP, Megatron style).
+
+Attention kernels reach a lower fraction of peak FLOPS than dense GEMMs
+(softmax, masking, irregular shapes); ``ATTN_COMPUTE_EFFICIENCY`` scales the
+GPU's large-GEMM efficiency for the attention term.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.breakdown import Breakdown
+from repro.errors import ConfigurationError
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.interconnect import Interconnect, allreduce_time
+from repro.models.config import ModelConfig
+
+ATTN_COMPUTE_EFFICIENCY = 0.6
+
+# Megatron-style layers all-reduce twice per layer under TP.
+ALLREDUCES_PER_LAYER = 2
+
+
+def layer_time(
+    model: ModelConfig,
+    gpu: GPUSpec,
+    fabric: Interconnect,
+    tp: int,
+    *,
+    new_tokens: int,
+    context_tokens: int,
+    sum_sq_seq_len: float,
+    phase: str,
+) -> Breakdown:
+    """Cost of one decoder layer processing one micro-batch on one GPU.
+
+    Args:
+        tp: Tensor-parallel degree sharding this layer.
+        new_tokens: Tokens entering the layer in this pass (prompt tokens
+            for prefill; one per sequence for decode).
+        context_tokens: Total cached tokens attended over, summed across
+            the micro-batch (decode attention reads this much KV).
+        sum_sq_seq_len: Sum of squared prompt lengths in the micro-batch
+            (prefill attention FLOPs are quadratic per sequence).
+        phase: ``"prefill"`` or ``"decode"``.
+
+    Returns:
+        A :class:`Breakdown` for this single layer.
+    """
+    if phase not in ("prefill", "decode"):
+        raise ConfigurationError(f"unknown phase {phase!r}")
+    if new_tokens < 0 or context_tokens < 0 or sum_sq_seq_len < 0:
+        raise ConfigurationError("token counts must be non-negative")
+    if new_tokens == 0:
+        return Breakdown()
+
+    bw = gpu.effective_bandwidth
+    flops = gpu.effective_flops
+
+    # Linear projections: weights stream once per pass; FLOPs scale with
+    # tokens. TP shards both.
+    linear_dm = (model.layer_weight_bytes / tp) / bw
+    linear_comp = (
+        model.linear_flops_per_token_per_layer() * new_tokens / tp / flops
+    )
+
+    # Attention.
+    attn_flops_eff = flops * ATTN_COMPUTE_EFFICIENCY
+    if phase == "prefill":
+        attn_dm = model.qkv_io_bytes_prefill_per_layer(new_tokens) / tp / bw
+        attn_comp = (
+            2.0 * model.num_heads * model.head_dim * sum_sq_seq_len
+        ) / tp / attn_flops_eff
+    else:
+        attn_dm = model.kv_read_bytes_decode_per_layer(context_tokens) / tp / bw
+        attn_comp = (
+            4.0 * model.num_heads * model.head_dim * context_tokens
+        ) / tp / attn_flops_eff
+
+    # Communication: activations are replicated across TP ranks, so the
+    # all-reduced volume is tokens * hidden * dtype regardless of tp.
+    comm = 0.0
+    if tp > 1:
+        act_bytes = new_tokens * model.activation_bytes_per_token()
+        comm = ALLREDUCES_PER_LAYER * allreduce_time(fabric, act_bytes, tp)
+
+    return Breakdown(
+        linear_dm=linear_dm,
+        linear_comp=linear_comp,
+        attn_dm=attn_dm,
+        attn_comp=attn_comp,
+        comm=comm,
+        overhead=gpu.kernel_overhead,
+    )

@@ -1,0 +1,251 @@
+"""Step-level cost model: the facade engines use for every timed action.
+
+A :class:`StepCostModel` binds (model, cluster, parallel config) and
+answers, in seconds-with-breakdown:
+
+- ``prefill_stage_time(seq_lens)``   — one prefill micro-batch through one
+  pipeline stage (L/PP layers at TP degree ``tp``);
+- ``prefill_pass_time(seq_lens)``    — the same micro-batch through all
+  stages (a single micro-batch gets no pipelining benefit);
+- ``decode_iteration_time(n, ctx)``  — every in-flight sequence advances
+  one token (PP micro-batches through the pipeline in steady state);
+- ``mixed_pass_time(...)``           — a chunked-prefill batch combining a
+  prompt chunk with piggybacked decodes (Sarathi-style baselines);
+- ``kv_swap_time(tokens)``           — tiered-KV transfer over host links;
+- ``reshard_time(dst)``              — weight reload for a config switch.
+
+All per-replica quantities assume the engine has already divided work
+across DP replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.costmodel.breakdown import Breakdown
+from repro.costmodel.pipeline import steady_state_period
+from repro.costmodel.roofline import ATTN_COMPUTE_EFFICIENCY, layer_time
+from repro.costmodel.transfer import KVLayout, TransferModel
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.interconnect import p2p_time
+from repro.models.config import ModelConfig
+from repro.parallel.config import ParallelConfig
+from repro.parallel.resharding import plan_reshard
+
+# Fixed engine bookkeeping per scheduling iteration (batch formation,
+# Python-side dispatch). Charged by engines once per iteration.
+ITERATION_OVERHEAD = 400e-6
+
+
+@dataclass
+class StepCostModel:
+    """Cost oracle for one (model, cluster, parallel config) binding."""
+
+    model: ModelConfig
+    cluster: ClusterSpec
+    config: ParallelConfig
+    kv_layout: KVLayout = KVLayout.HND
+    transfer: TransferModel = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.config.num_gpus > self.cluster.num_gpus:
+            raise ConfigurationError(
+                f"config {self.config.label()} needs {self.config.num_gpus} GPUs, "
+                f"cluster has {self.cluster.num_gpus}"
+            )
+        self.transfer = TransferModel(cluster=self.cluster, layout=self.kv_layout)
+
+    # ------------------------------------------------------------------ #
+    # Structural helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def layers_per_stage(self) -> float:
+        """Layers per pipeline stage (fractional for uneven splits; the
+        slowest stage has ceil(L/PP) and bounds the pipeline)."""
+        pp = self.config.pp
+        return -(-self.model.num_layers // pp)  # ceil division
+
+    def _stage(self, per_layer: Breakdown, new_tokens: int) -> Breakdown:
+        """Scale a per-layer cost to one pipeline stage, adding the
+        inter-stage activation send (negligible next to all-reduce, but
+        modeled for completeness)."""
+        stage = per_layer.scale(self.layers_per_stage)
+        if self.config.pp > 1 and new_tokens > 0:
+            act = new_tokens * self.model.activation_bytes_per_token()
+            send = p2p_time(self.cluster.fabric, act)
+            stage = stage + Breakdown(comm=send)
+        return stage
+
+    # ------------------------------------------------------------------ #
+    # Prefill
+    # ------------------------------------------------------------------ #
+
+    def prefill_stage_time(self, seq_lens: Sequence[int]) -> Breakdown:
+        """One prefill micro-batch through ONE pipeline stage."""
+        new_tokens = int(sum(seq_lens))
+        sum_sq = float(sum(s * s for s in seq_lens))
+        per_layer = layer_time(
+            self.model,
+            self.cluster.gpu,
+            self.cluster.fabric,
+            self.config.tp,
+            new_tokens=new_tokens,
+            context_tokens=0,
+            sum_sq_seq_len=sum_sq,
+            phase="prefill",
+        )
+        return self._stage(per_layer, new_tokens)
+
+    def prefill_pass_time(self, seq_lens: Sequence[int]) -> Breakdown:
+        """One micro-batch through ALL stages (no pipelining overlap)."""
+        return self.prefill_stage_time(seq_lens).scale(self.config.pp)
+
+    # ------------------------------------------------------------------ #
+    # Decode
+    # ------------------------------------------------------------------ #
+
+    def decode_stage_time(self, num_seqs: int, context_tokens: int) -> Breakdown:
+        """One decode micro-batch (``num_seqs`` sequences, attending over
+        ``context_tokens`` total cached tokens) through one stage."""
+        per_layer = layer_time(
+            self.model,
+            self.cluster.gpu,
+            self.cluster.fabric,
+            self.config.tp,
+            new_tokens=num_seqs,
+            context_tokens=context_tokens,
+            sum_sq_seq_len=0.0,
+            phase="decode",
+        )
+        return self._stage(per_layer, num_seqs)
+
+    def decode_iteration_time(self, num_seqs: int, context_tokens: int) -> Breakdown:
+        """Advance every sequence of one DP replica by one token.
+
+        The replica's batch splits into PP mutually-exclusive micro-batches
+        (paper Section 3.1); in steady state the iteration takes PP stage
+        periods, so each device re-streams its weights once per micro-batch
+        — the weight-transfer amplification that makes PP slow at decode.
+        """
+        if num_seqs <= 0:
+            return Breakdown()
+        pp = self.config.pp
+        micro_seqs = -(-num_seqs // pp)
+        micro_ctx = -(-context_tokens // pp)
+        stage = self.decode_stage_time(micro_seqs, micro_ctx)
+        period = steady_state_period(1.0, pp)  # = pp stage slots
+        return stage.scale(period)
+
+    # ------------------------------------------------------------------ #
+    # Mixed (chunked prefill) batches
+    # ------------------------------------------------------------------ #
+
+    def mixed_iteration_time(
+        self,
+        chunk_tokens: int,
+        chunk_context_tokens: int,
+        decode_seqs: int,
+        decode_context_tokens: int,
+    ) -> Breakdown:
+        """A Sarathi-style iteration: a prompt chunk plus piggybacked decodes.
+
+        The chunk of ``chunk_tokens`` attends over ``chunk_context_tokens``
+        already-prefilled tokens plus (causally) itself; decodes attend over
+        their caches. Under pipeline parallelism the iteration splits into
+        PP micro-batches exactly like a decode iteration (Sarathi's uniform
+        chunks are what keep those micro-batches bubble-free), so the
+        iteration occupies PP stage periods.
+        """
+        if chunk_tokens + decode_seqs == 0:
+            return Breakdown()
+        pp = self.config.pp
+        m_chunk = -(-chunk_tokens // pp) if chunk_tokens else 0
+        m_chunk_ctx = -(-chunk_context_tokens // pp) if chunk_tokens else 0
+        m_dec = -(-decode_seqs // pp) if decode_seqs else 0
+        m_dec_ctx = -(-decode_context_tokens // pp) if decode_seqs else 0
+        stage = self._mixed_stage_time(m_chunk, m_chunk_ctx, m_dec, m_dec_ctx)
+        return stage.scale(pp)
+
+    def _mixed_stage_time(
+        self,
+        chunk_tokens: int,
+        chunk_context_tokens: int,
+        decode_seqs: int,
+        decode_context_tokens: int,
+    ) -> Breakdown:
+        """One mixed micro-batch through one pipeline stage."""
+        new_tokens = chunk_tokens + decode_seqs
+        if new_tokens == 0:
+            return Breakdown()
+        gpu = self.cluster.gpu
+        tp = self.config.tp
+        bw = gpu.effective_bandwidth
+        flops = gpu.effective_flops
+
+        linear_dm = (self.model.layer_weight_bytes / tp) / bw
+        linear_comp = (
+            self.model.linear_flops_per_token_per_layer() * new_tokens / tp / flops
+        )
+
+        attn_flops_eff = flops * ATTN_COMPUTE_EFFICIENCY
+        d = self.model.head_dim
+        hq = self.model.num_heads
+        # Chunk attention: each new token attends over prior context plus
+        # the causal half of the chunk itself.
+        chunk_attended = chunk_tokens * (chunk_context_tokens + chunk_tokens / 2.0)
+        attn_comp = (
+            2.0 * 2.0 * hq * d * chunk_attended
+            + 4.0 * hq * d * decode_context_tokens
+        ) / tp / attn_flops_eff
+        attn_dm = (
+            self.model.qkv_io_bytes_prefill_per_layer(chunk_tokens)
+            + self.model.kv_read_bytes_decode_per_layer(
+                (chunk_context_tokens if chunk_tokens > 0 else 0)
+                + decode_context_tokens
+            )
+        ) / tp / bw
+
+        comm = 0.0
+        if tp > 1:
+            from repro.hardware.interconnect import allreduce_time
+
+            act = new_tokens * self.model.activation_bytes_per_token()
+            comm = 2 * allreduce_time(self.cluster.fabric, act, tp)
+
+        per_layer = Breakdown(
+            linear_dm=linear_dm,
+            linear_comp=linear_comp,
+            attn_dm=attn_dm,
+            attn_comp=attn_comp,
+            comm=comm,
+            overhead=gpu.kernel_overhead,
+        )
+        return self._stage(per_layer, new_tokens)
+
+    # ------------------------------------------------------------------ #
+    # Transfers
+    # ------------------------------------------------------------------ #
+
+    def kv_swap_time(self, tokens: float) -> float:
+        """Wall time to move ``tokens`` worth of *one replica's* KV cache
+        between the CPU buffer and that replica's GPUs.
+
+        Each GPU carries its own shard (1 / (TP*PP) of each token) over its
+        own host link, all links running in parallel, so the replica's
+        aggregate swap bandwidth scales with TP*PP. Engines account DP
+        replicas separately (each replica swaps its own tokens).
+        """
+        if tokens < 0:
+            raise ConfigurationError("tokens must be >= 0")
+        total_bytes = tokens * self.model.kv_bytes_per_token
+        agg_bw = self.transfer.effective_bandwidth_per_gpu * self.config.model_gpus
+        return total_bytes / agg_bw
+
+    def reshard_time(self, dst: ParallelConfig) -> float:
+        """Wall time of switching this config's weights to ``dst``
+        (parallel per-GPU reload from CPU memory over host links)."""
+        plan = plan_reshard(self.model, self.config, dst)
+        return plan.transfer_time(self.cluster)

@@ -1,0 +1,78 @@
+"""CPU<->GPU transfer costs: KV swaps, weight reloads, layout effects.
+
+Section 5.2 of the paper describes the two transfer mechanics we model:
+
+- transfers overlap with computation only through **pinned** staging
+  buffers; the pinned->shared-memory hop runs host-side concurrently with
+  GPU kernels, so the GPU-visible cost is the PCIe leg;
+- the KV layout matters: **HND** (heads-major) keeps each TP rank's shard
+  contiguous, while **NHD** forces strided access and loses bandwidth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import ClusterSpec
+
+
+class KVLayout(enum.Enum):
+    """KV-cache memory layout for the CPU buffer.
+
+    HND = (num_heads, seq_len, head_dim): TP shards the leading dimension,
+    so each rank's slice is contiguous — this is what Seesaw uses.
+    NHD = (seq_len, num_heads, head_dim): sharding cuts the middle
+    dimension, producing many small strided copies.
+    """
+
+    HND = "hnd"
+    NHD = "nhd"
+
+
+# Fraction of link bandwidth attained for each layout; NHD's strided copies
+# are markedly slower (small-chunk PCIe reads).
+_LAYOUT_EFFICIENCY = {KVLayout.HND: 1.0, KVLayout.NHD: 0.55}
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Host-link transfer timing for one cluster.
+
+    Attributes:
+        cluster: Hardware description (provides per-GPU host bandwidth).
+        layout: KV-cache layout in CPU memory.
+        pinned: Whether transfers stage through pinned memory. Non-pinned
+            transfers cannot overlap with compute and run slower.
+    """
+
+    cluster: ClusterSpec
+    layout: KVLayout = KVLayout.HND
+    pinned: bool = True
+
+    @property
+    def effective_bandwidth_per_gpu(self) -> float:
+        """Attainable CPU<->GPU bytes/s per GPU for KV traffic."""
+        base = self.cluster.host_link_bandwidth
+        eff = self.cluster.pinned_copy_efficiency if self.pinned else 0.6
+        return base * eff * _LAYOUT_EFFICIENCY[self.layout]
+
+    def kv_swap_time(self, bytes_per_gpu: float) -> float:
+        """Time to move ``bytes_per_gpu`` of KV between host and one GPU."""
+        if bytes_per_gpu < 0:
+            raise ConfigurationError("transfer bytes must be >= 0")
+        return bytes_per_gpu / self.effective_bandwidth_per_gpu
+
+    def weight_load_time(self, bytes_per_gpu: float) -> float:
+        """Time to load ``bytes_per_gpu`` of weights host->GPU (weights are
+        stored contiguously per shard, so layout does not apply)."""
+        if bytes_per_gpu < 0:
+            raise ConfigurationError("transfer bytes must be >= 0")
+        eff = self.cluster.pinned_copy_efficiency if self.pinned else 0.6
+        return bytes_per_gpu / (self.cluster.host_link_bandwidth * eff)
+
+    @property
+    def overlappable(self) -> bool:
+        """Whether transfers may overlap with computation (pinned only)."""
+        return self.pinned

@@ -1,0 +1,335 @@
+"""Engine base class and the single-replica execution helpers.
+
+Every engine in this package simulates one DP replica at a time (replicas
+process disjoint request partitions concurrently; wall time is the slowest
+replica) and shares the mechanics implemented here: request partitioning,
+prefill micro-batch formation, the decode-iteration step with KV growth and
+preemption, and sequence bookkeeping.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence as TypingSequence
+
+from repro.costmodel.breakdown import Breakdown
+from repro.costmodel.pipeline import pipeline_time_heterogeneous
+from repro.costmodel.step import ITERATION_OVERHEAD, StepCostModel
+from repro.costmodel.transfer import KVLayout
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.cluster import ClusterSpec
+from repro.models.config import ModelConfig
+from repro.parallel.config import ParallelConfig
+from repro.parallel.memory import kv_capacity_tokens
+from repro.runtime.kvcache import KVCacheManager
+from repro.runtime.metrics import EngineResult, RunMetrics, merge_dp_results
+from repro.runtime.request import Request, Sequence, SequenceState
+from repro.runtime.trace import DECODE, NullTrace, Trace
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Scheduler knobs shared by all engines.
+
+    Attributes:
+        max_num_seqs: Cap on concurrently decoding sequences per replica
+            (vLLM's ``max_num_seqs``).
+        max_batched_tokens: Token budget of one prefill micro-batch /
+            forward pass (vLLM's ``max_num_batched_tokens``).
+        chunked_prefill: Enable Sarathi-style mixed batches (only consumed
+            by engines that support it).
+        chunk_size: Token budget of one chunked-prefill iteration
+            (decode tokens included, as in vLLM).
+        block_size: KV page size in tokens.
+        kv_layout: CPU-side KV layout (HND is Seesaw's bandwidth-friendly
+            choice; NHD exists for the layout ablation).
+    """
+
+    max_num_seqs: int = 512
+    max_batched_tokens: int = 8192
+    chunked_prefill: bool = False
+    chunk_size: int = 1024
+    block_size: int = 16
+    kv_layout: KVLayout = KVLayout.HND
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_num_seqs < 1 or self.max_batched_tokens < 1 or self.chunk_size < 1:
+            raise ConfigurationError("engine limits must be positive")
+        if self.block_size < 1:
+            raise ConfigurationError("block_size must be positive")
+
+
+def split_requests(
+    requests: TypingSequence[Request], num_parts: int
+) -> list[list[Request]]:
+    """Partition requests across DP replicas.
+
+    Round-robin by index: deterministic, preserves arrival order inside each
+    replica, and balances both count and length distribution for the
+    workload sizes the paper uses.
+    """
+    if num_parts < 1:
+        raise ConfigurationError("num_parts must be >= 1")
+    return [list(requests[i::num_parts]) for i in range(num_parts)]
+
+
+class ReplicaState:
+    """Mutable per-replica scheduling state shared by engine loops."""
+
+    def __init__(
+        self,
+        requests: Iterable[Request],
+        kv: KVCacheManager,
+    ) -> None:
+        self.waiting: deque[Sequence] = deque(Sequence(r) for r in requests)
+        self.running: list[Sequence] = []
+        self.finished: list[Sequence] = []
+        self.kv = kv
+
+    @property
+    def decode_context_tokens(self) -> int:
+        """Total cached tokens attended over by one decode iteration."""
+        return sum(s.context_len for s in self.running)
+
+    def finish_ready(self, now: float) -> int:
+        """Retire sequences that have produced all their tokens."""
+        done = [s for s in self.running if s.remaining_decode == 0]
+        for s in done:
+            s.mark_finished(now)
+            self.kv.free(s.seq_id)
+            self.running.remove(s)
+            self.finished.append(s)
+        return len(done)
+
+
+class BaseEngine(abc.ABC):
+    """Common engine skeleton: DP fan-out plus shared step helpers."""
+
+    name: str = "base"
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        cluster: ClusterSpec,
+        config: ParallelConfig,
+        options: EngineOptions | None = None,
+    ) -> None:
+        if config.num_gpus > cluster.num_gpus:
+            raise ConfigurationError(
+                f"{config.label()} needs {config.num_gpus} GPUs, cluster has "
+                f"{cluster.num_gpus}"
+            )
+        self.model = model
+        self.cluster = cluster
+        self.config = config
+        self.options = options or EngineOptions()
+        # Populated by run() when options.trace is set (replica 0's trace).
+        self.last_trace: Trace = NullTrace()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def run(self, workload: WorkloadSpec | TypingSequence[Request]) -> EngineResult:
+        """Execute the workload to completion; returns the run summary."""
+        requests = (
+            list(workload.requests)
+            if isinstance(workload, WorkloadSpec)
+            else list(workload)
+        )
+        if not requests:
+            raise ConfigurationError("cannot run an empty workload")
+        parts = split_requests(requests, self.config.dp)
+        results = []
+        for i, part in enumerate(parts):
+            if not part:
+                continue
+            self._active_trace = Trace() if (self.options.trace and i == 0) else NullTrace()
+            results.append(self._run_replica(part, replica_id=i))
+            if i == 0:
+                self.last_trace = self._active_trace
+        return merge_dp_results(results, engine=self.name, label=self.label())
+
+    def label(self) -> str:
+        """Configuration label shown in reports."""
+        return self.config.label()
+
+    @abc.abstractmethod
+    def _run_replica(self, requests: list[Request], replica_id: int) -> EngineResult:
+        """Simulate one DP replica processing ``requests`` to completion."""
+
+    # ------------------------------------------------------------------ #
+    # Shared construction helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def replica_config(self) -> ParallelConfig:
+        """This engine's config with DP stripped (one replica's view)."""
+        return replace(self.config, dp=1)
+
+    def record_event(self, kind: str, start: float, duration: float, **kw: int) -> None:
+        """Append a trace event (no-op unless tracing is enabled)."""
+        trace = getattr(self, "_active_trace", None)
+        if trace is not None:
+            trace.record(kind, start, duration, **kw)
+
+    def make_costs(self, config: ParallelConfig | None = None) -> StepCostModel:
+        return StepCostModel(
+            self.model,
+            self.cluster,
+            config or self.replica_config,
+            kv_layout=self.options.kv_layout,
+        )
+
+    def make_kv(self, config: ParallelConfig | None = None, reserve_tokens: int = 0) -> KVCacheManager:
+        cfg = config or self.replica_config
+        capacity = kv_capacity_tokens(self.model, self.cluster, cfg) - reserve_tokens
+        if capacity < self.options.block_size:
+            raise CapacityError(
+                f"{self.model.name} under {cfg.label()} leaves no KV space "
+                f"after reserving {reserve_tokens} tokens"
+            )
+        return KVCacheManager(capacity_tokens=capacity, block_size=self.options.block_size)
+
+    def result_from(
+        self,
+        requests: list[Request],
+        metrics: RunMetrics,
+        total_time: float,
+    ) -> EngineResult:
+        return EngineResult(
+            engine=self.name,
+            label=self.label(),
+            num_requests=len(requests),
+            total_time=total_time,
+            input_tokens=sum(r.prompt_len for r in requests),
+            output_tokens=sum(r.output_len for r in requests),
+            phase_time=dict(metrics.phase_timer.phases),
+            breakdown=metrics.breakdown,
+            iterations=metrics.iterations,
+            transitions=metrics.transitions,
+            swapped_in_tokens=metrics.swapped_in_tokens,
+            swapped_out_tokens=metrics.swapped_out_tokens,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shared step mechanics
+    # ------------------------------------------------------------------ #
+
+    def form_prefill_microbatches(
+        self, seqs: TypingSequence[Sequence]
+    ) -> list[list[Sequence]]:
+        """Greedy micro-batch formation under the token budget.
+
+        Sequences are packed in order; a sequence longer than the budget
+        gets a micro-batch of its own (real engines run long prompts as a
+        single pass too).
+        """
+        budget = self.options.max_batched_tokens
+        batches: list[list[Sequence]] = []
+        current: list[Sequence] = []
+        used = 0
+        for seq in seqs:
+            tokens = seq.remaining_prefill
+            if current and used + tokens > budget:
+                batches.append(current)
+                current, used = [], 0
+            current.append(seq)
+            used += tokens
+        if current:
+            batches.append(current)
+        return batches
+
+    def prefill_time(
+        self, costs: StepCostModel, microbatches: TypingSequence[TypingSequence[Sequence]]
+    ) -> tuple[float, Breakdown]:
+        """Wall time and device breakdown of streaming ``microbatches``
+        through the (possibly pipelined) cluster."""
+        if not microbatches:
+            return 0.0, Breakdown()
+        stage_bds = [
+            costs.prefill_stage_time([s.remaining_prefill for s in mb])
+            for mb in microbatches
+        ]
+        wall = pipeline_time_heterogeneous(
+            [b.total for b in stage_bds], costs.config.pp
+        ) + ITERATION_OVERHEAD
+        device = Breakdown()
+        for b in stage_bds:
+            device = device + b.scale(costs.config.pp)
+        return wall, device
+
+    def decode_step(
+        self,
+        state: ReplicaState,
+        costs: StepCostModel,
+        metrics: RunMetrics,
+        now: float,
+        phase: str = "decode",
+    ) -> float:
+        """Advance every running sequence one token; returns the new time.
+
+        Handles KV growth with preemption: when the cache cannot grow, the
+        youngest running sequence is evicted via :meth:`preempt` (subclass
+        hook — recompute for static engines, swap-out for Seesaw).
+        """
+        if not state.running:
+            raise ConfigurationError("decode_step with no running sequences")
+        bd = costs.decode_iteration_time(
+            len(state.running), state.decode_context_tokens
+        )
+        elapsed = bd.total + ITERATION_OVERHEAD
+        self.record_event(
+            DECODE,
+            now,
+            elapsed,
+            num_seqs=len(state.running),
+            tokens=len(state.running),
+            resident_seqs=len(state.running),
+        )
+        now += elapsed
+        metrics.add_phase(phase, elapsed, bd)
+        metrics.iterations += 1
+
+        for s in state.running:
+            s.advance_decode()
+        # Grow allocations oldest-first; evict youngest on pressure.
+        for s in list(state.running):
+            if s not in state.running:
+                continue  # already preempted below
+            while True:
+                try:
+                    state.kv.grow(s.seq_id, s.context_len)
+                    break
+                except CapacityError:
+                    victim = self._pick_victim(state, exclude=s)
+                    if victim is None:
+                        raise
+                    self.preempt(state, victim, now, metrics)
+        state.finish_ready(now)
+        return now
+
+    def _pick_victim(
+        self, state: ReplicaState, exclude: Sequence
+    ) -> Sequence | None:
+        """Youngest running sequence other than ``exclude`` (LIFO eviction,
+        vLLM's policy: the most recently admitted loses)."""
+        for s in reversed(state.running):
+            if s is not exclude:
+                return s
+        return None
+
+    def preempt(
+        self, state: ReplicaState, victim: Sequence, now: float, metrics: RunMetrics
+    ) -> None:
+        """Default preemption: recompute. The victim's KV is dropped and it
+        re-enters the waiting queue; its next prefill covers prompt plus
+        already-generated tokens (vLLM's recompute path)."""
+        state.kv.free(victim.seq_id)
+        state.running.remove(victim)
+        victim.preempt_recompute()
+        state.waiting.appendleft(victim)

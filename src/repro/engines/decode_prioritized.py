@@ -1,0 +1,72 @@
+"""Decode-prioritized (batch-at-a-time) engine.
+
+The scheduling extreme of Fig. 2(b), as used by FasterTransformer: admit a
+batch, prefill it, decode the whole batch to completion, only then start
+the next batch. Transitions between prefill and decode are rare (one per
+batch) but the decode batch shrinks as sequences finish, under-utilizing
+the GPU — exactly the trade-off the paper's tiered buffering removes.
+
+Admission reserves each sequence's *final* context length so the batch is
+guaranteed to finish without preemption.
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import BaseEngine, ReplicaState
+from repro.errors import CapacityError
+from repro.runtime.metrics import EngineResult, RunMetrics
+from repro.runtime.request import Request, Sequence, SequenceState
+
+
+class DecodePrioritizedEngine(BaseEngine):
+    """Batch-at-a-time scheduling with a static parallel config."""
+
+    name = "decode-prio"
+
+    def _run_replica(self, requests: list[Request], replica_id: int) -> EngineResult:
+        costs = self.make_costs()
+        kv = self.make_kv()
+        state = ReplicaState(requests, kv)
+        metrics = RunMetrics()
+        now = 0.0
+
+        while state.waiting or state.running:
+            batch = self._admit_batch(state)
+            if not batch and not state.running:
+                head = state.waiting[0]
+                raise CapacityError(
+                    f"request needs {head.final_context_len} tokens of KV, "
+                    f"capacity is {state.kv.capacity_tokens}"
+                )
+            if batch:
+                microbatches = self.form_prefill_microbatches(batch)
+                wall, device = self.prefill_time(costs, microbatches)
+                now += wall
+                metrics.add_phase("prefill", wall, device)
+                metrics.iterations += 1
+                metrics.transitions += 1
+                for seq in batch:
+                    seq.advance_prefill(seq.remaining_prefill)
+                    seq.state = SequenceState.RUNNING
+                    seq.prefill_end_time = now
+                    state.running.append(seq)
+                state.finish_ready(now)
+            # Decode the whole batch to completion before the next prefill.
+            while state.running:
+                now = self.decode_step(state, costs, metrics, now)
+            metrics.transitions += 1
+
+        return self.result_from(requests, metrics, now)
+
+    def _admit_batch(self, state: ReplicaState) -> list[Sequence]:
+        """Admit sequences whose final context length fits entirely."""
+        admitted: list[Sequence] = []
+        while state.waiting and len(admitted) < self.options.max_num_seqs:
+            seq = state.waiting[0]
+            need = seq.final_context_len
+            if not state.kv.can_allocate(need):
+                break
+            state.kv.allocate(seq.seq_id, need)
+            state.waiting.popleft()
+            admitted.append(seq)
+        return admitted

@@ -1,0 +1,243 @@
+"""vLLM-style static-parallelism engine (the paper's baseline).
+
+One fixed (DP, TP, PP) configuration for the whole run, continuous batching
+with **prefill-prioritized** scheduling: whenever a waiting prompt fits in
+the KV cache it is prefilled eagerly, otherwise the engine runs a decode
+iteration over everything resident. With ``chunked_prefill`` enabled the
+engine instead forms Sarathi-style mixed batches: a token budget per
+iteration is filled first with one decode token per running sequence, the
+remainder with a chunk of the next prompt (vLLM 0.5.4's behaviour with
+``enable_chunked_prefill``, which the paper tunes per workload).
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.step import ITERATION_OVERHEAD
+from repro.engines.base import BaseEngine, ReplicaState
+from repro.errors import CapacityError, SchedulingError
+from repro.runtime.metrics import EngineResult, RunMetrics
+from repro.runtime.request import Request, Sequence, SequenceState
+
+
+class VllmLikeEngine(BaseEngine):
+    """Static-config continuous-batching engine."""
+
+    name = "vllm"
+
+    def label(self) -> str:
+        suffix = "+chunked" if self.options.chunked_prefill else ""
+        return f"{self.config.label()}{suffix}"
+
+    # ------------------------------------------------------------------ #
+    # Replica loop
+    # ------------------------------------------------------------------ #
+
+    def _run_replica(self, requests: list[Request], replica_id: int) -> EngineResult:
+        costs = self.make_costs()
+        kv = self.make_kv()
+        state = ReplicaState(requests, kv)
+        metrics = RunMetrics()
+        now = 0.0
+        guard = 0
+        max_iterations = 80 * sum(r.prompt_len + r.output_len for r in requests)
+
+        while state.waiting or state.running:
+            guard += 1
+            if guard > max_iterations:
+                raise SchedulingError("scheduler made no progress (livelock guard)")
+            if self.options.chunked_prefill:
+                now = self._chunked_iteration(state, costs, metrics, now)
+            else:
+                now = self._prefill_prioritized_iteration(state, costs, metrics, now)
+
+        return self.result_from(requests, metrics, now)
+
+    # ------------------------------------------------------------------ #
+    # Non-chunked: eager prefill, whole prompts
+    # ------------------------------------------------------------------ #
+
+    def _prefill_prioritized_iteration(
+        self, state: ReplicaState, costs, metrics: RunMetrics, now: float
+    ) -> float:
+        admitted = []
+        if self._prefill_worthwhile(state):
+            admitted = self._admit_prefills(state)
+        if admitted:
+            microbatches = self.form_prefill_microbatches(admitted)
+            wall, device = self.prefill_time(costs, microbatches)
+            self.record_event(
+                "prefill",
+                now,
+                wall,
+                num_seqs=len(admitted),
+                tokens=sum(s.remaining_prefill for s in admitted),
+                resident_seqs=len(state.running),
+            )
+            now += wall
+            metrics.add_phase("prefill", wall, device)
+            metrics.iterations += 1
+            for seq in admitted:
+                seq.advance_prefill(seq.remaining_prefill)
+                seq.state = SequenceState.RUNNING
+                seq.prefill_end_time = now
+                state.running.append(seq)
+            state.finish_ready(now)  # output_len == 1 finishes at prefill
+            return now
+        if state.running:
+            return self.decode_step(state, costs, metrics, now)
+        # Nothing admitted and nothing running: the head prompt cannot fit.
+        head = state.waiting[0]
+        raise CapacityError(
+            f"prompt of {head.remaining_prefill} tokens exceeds KV capacity "
+            f"{state.kv.capacity_tokens} under {self.config.label()}"
+        )
+
+    def _prefill_worthwhile(self, state: ReplicaState) -> bool:
+        """Admission hysteresis for pipeline parallelism.
+
+        Each prefill wave pays a (PP-1)-stage fill bubble, so prefilling a
+        trickle of one prompt at a time whenever a decode frees a few
+        blocks wastes most of the pipeline. Wait until enough KV space has
+        freed to amortize the bubble over at least a pipeline's worth of
+        micro-batches (or until nothing is decoding / the queue is nearly
+        drained). With PP=1 there is no bubble and eager admission stands.
+        """
+        pp = self.replica_config.pp
+        if pp <= 1 or not state.running or not state.waiting:
+            return True
+        remaining = sum(s.remaining_prefill for s in state.waiting)
+        target = min(remaining, pp * self.options.max_batched_tokens)
+        return state.kv.free_tokens >= target
+
+    def _admit_prefills(self, state: ReplicaState) -> list[Sequence]:
+        """Admit waiting prompts while KV space and the per-iteration token
+        budget allow. One scheduling iteration admits at most PP micro-
+        batches worth of tokens so pipeline stages stay busy without
+        starving resident decodes for long; with nothing decoding there is
+        no one to starve, so the wave may grow to KV capacity and amortize
+        the pipeline fill bubble."""
+        budget = self.options.max_batched_tokens * costs_pp(self)
+        if not state.running:
+            budget = max(budget, state.kv.capacity_tokens)
+        admitted: list[Sequence] = []
+        used = 0
+        while state.waiting:
+            seq = state.waiting[0]
+            need = seq.remaining_prefill + 1  # +1: first generated token
+            if len(state.running) + len(admitted) >= self.options.max_num_seqs:
+                break
+            if used + seq.remaining_prefill > budget and admitted:
+                break
+            if not state.kv.can_allocate(need):
+                break
+            state.kv.allocate(seq.seq_id, need)
+            state.waiting.popleft()
+            admitted.append(seq)
+            used += seq.remaining_prefill
+            if used >= budget:
+                break
+        return admitted
+
+    # ------------------------------------------------------------------ #
+    # Chunked prefill (Sarathi-style mixed batches)
+    # ------------------------------------------------------------------ #
+
+    def _chunked_iteration(
+        self, state: ReplicaState, costs, metrics: RunMetrics, now: float
+    ) -> float:
+        budget = max(0, self.options.chunk_size - len(state.running))
+        chunk_tokens = 0
+        chunk_ctx_weighted = 0.0
+        completing: list[Sequence] = []
+
+        while budget > 0 and state.waiting:
+            seq = state.waiting[0]
+            if len(state.running) + len(completing) + 1 > self.options.max_num_seqs:
+                break
+            take = min(budget, seq.remaining_prefill)
+            need_tokens = seq.prefilled_tokens + take
+            will_complete = take == seq.remaining_prefill
+            if will_complete:
+                need_tokens += 1  # room for the first generated token
+            if not self._ensure_chunk_space(state, seq, need_tokens):
+                break
+            chunk_ctx_weighted += take * seq.prefilled_tokens
+            seq.state = SequenceState.PREFILLING
+            seq.advance_prefill(take)
+            chunk_tokens += take
+            budget -= take
+            if will_complete:
+                state.waiting.popleft()
+                completing.append(seq)
+            else:
+                break  # budget exhausted mid-prompt
+
+        if chunk_tokens == 0 and not state.running:
+            head = state.waiting[0]
+            raise CapacityError(
+                f"prompt of {head.remaining_prefill} tokens exceeds KV capacity "
+                f"{state.kv.capacity_tokens} under {self.config.label()}"
+            )
+
+        decode_seqs = len(state.running)
+        eff_ctx = int(chunk_ctx_weighted / chunk_tokens) if chunk_tokens else 0
+        bd = costs.mixed_iteration_time(
+            chunk_tokens, eff_ctx, decode_seqs, state.decode_context_tokens
+        )
+        elapsed = bd.total + ITERATION_OVERHEAD
+        phase = "mixed" if (chunk_tokens and decode_seqs) else (
+            "prefill" if chunk_tokens else "decode"
+        )
+        self.record_event(
+            phase,
+            now,
+            elapsed,
+            num_seqs=decode_seqs + len(completing),
+            tokens=chunk_tokens + decode_seqs,
+            resident_seqs=decode_seqs,
+        )
+        now += elapsed
+        metrics.add_phase(phase, elapsed, bd)
+        metrics.iterations += 1
+
+        if decode_seqs:
+            for s in state.running:
+                s.advance_decode()
+            for s in list(state.running):
+                if s not in state.running:
+                    continue
+                while True:
+                    try:
+                        state.kv.grow(s.seq_id, s.context_len)
+                        break
+                    except CapacityError:
+                        victim = self._pick_victim(state, exclude=s)
+                        if victim is None:
+                            raise
+                        self.preempt(state, victim, now, metrics)
+        for seq in completing:
+            seq.state = SequenceState.RUNNING
+            seq.prefill_end_time = now
+            state.running.append(seq)
+        state.finish_ready(now)
+        return now
+
+    def _ensure_chunk_space(
+        self, state: ReplicaState, seq: Sequence, need_tokens: int
+    ) -> bool:
+        """Allocate or grow KV for a chunk; False if memory is exhausted."""
+        try:
+            if state.kv.holds(seq.seq_id):
+                state.kv.grow(seq.seq_id, need_tokens)
+            else:
+                if not state.kv.can_allocate(need_tokens):
+                    return False
+                state.kv.allocate(seq.seq_id, need_tokens)
+            return True
+        except CapacityError:
+            return False
+
+
+def costs_pp(engine: VllmLikeEngine) -> int:
+    """Pipeline depth of the engine's replica config (micro-batch fan-out)."""
+    return engine.replica_config.pp

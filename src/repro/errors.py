@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+type. Specific subclasses signal configuration problems (invalid parallelism,
+model does not fit) versus runtime problems (KV cache exhaustion that cannot
+be resolved by scheduling).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied configuration is invalid or inconsistent."""
+
+
+class CapacityError(ReproError):
+    """A model/workload does not fit in the configured hardware."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler reached a state it cannot make progress from."""
+
+
+class SimulationError(ReproError):
+    """Internal invariant violation inside the simulated runtime."""

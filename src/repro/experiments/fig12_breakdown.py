@@ -1,0 +1,92 @@
+"""Figure 12: speedup breakdown — how Seesaw merges both parallelisms.
+
+CodeLLaMA-34B, arxiv-summarization, four A10 GPUs. Four runs:
+
+- ``TP4``   (chunked prefill off): best decode, terrible prefill;
+- ``PP4``   (chunked prefill off): best prefill, slow decode;
+- ``P4->T4`` (Seesaw): prefill like PP4 plus decode like TP4;
+- ``TP2PP2+chunked``: the best single vLLM configuration.
+
+Each run reports end-to-end time split into prefill / mixed / decode /
+other (re-shard + swap stalls), the stacked bars of the figure. Expected
+shape: Seesaw's prefill segment is close to PP4's and its decode segment
+close to TP4's, beating TP2PP2+chunked overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autotuner.search import tune_chunk_size
+from repro.core.engine import SeesawEngine
+from repro.engines.base import EngineOptions
+from repro.engines.vllm_like import VllmLikeEngine
+from repro.hardware.cluster import make_cluster
+from repro.models.registry import get_model
+from repro.parallel.config import parse_config
+from repro.runtime.metrics import EngineResult
+from repro.utils.tables import ascii_table
+from repro.workloads.datasets import arxiv_workload
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    runs: dict[str, EngineResult]
+
+    def segment(self, run: str, phase: str) -> float:
+        return self.runs[run].phase_time.get(phase, 0.0)
+
+    def other_time(self, run: str) -> float:
+        r = self.runs[run]
+        known = sum(
+            r.phase_time.get(p, 0.0) for p in ("prefill", "mixed", "decode")
+        )
+        return max(0.0, r.total_time - known)
+
+
+def run_fig12(
+    workload: WorkloadSpec | None = None,
+    *,
+    num_requests: int = 120,
+    seed: int = 12,
+) -> Fig12Result:
+    model = get_model("34b")
+    cluster = make_cluster("A10", 4)
+    workload = workload or arxiv_workload(num_requests, seed=seed)
+
+    runs: dict[str, EngineResult] = {}
+    runs["tp4"] = VllmLikeEngine(model, cluster, parse_config("T4")).run(workload)
+    runs["pp4"] = VllmLikeEngine(model, cluster, parse_config("P4")).run(workload)
+    runs["p4->t4"] = SeesawEngine(
+        model, cluster, parse_config("P4"), parse_config("T4")
+    ).run(workload)
+    chunk = tune_chunk_size(model, cluster, parse_config("T2P2"), workload)
+    runs["tp2pp2+chunked"] = VllmLikeEngine(
+        model,
+        cluster,
+        parse_config("T2P2"),
+        EngineOptions(chunked_prefill=True, chunk_size=chunk),
+    ).run(workload)
+    return Fig12Result(runs=runs)
+
+
+def render_fig12(result: Fig12Result | None = None) -> str:
+    result = result if result is not None else run_fig12()
+    rows = []
+    for name, r in result.runs.items():
+        rows.append(
+            [
+                name,
+                f"{r.phase_time.get('prefill', 0.0):.1f}",
+                f"{r.phase_time.get('mixed', 0.0):.1f}",
+                f"{r.phase_time.get('decode', 0.0):.1f}",
+                f"{result.other_time(name):.1f}",
+                f"{r.total_time:.1f}",
+            ]
+        )
+    return ascii_table(
+        ["run", "prefill", "mix", "decode", "other", "total (s)"],
+        rows,
+        title="Figure 12: speedup breakdown - 34B, arxiv, 4x A10",
+    )

@@ -1,0 +1,123 @@
+"""Figure 15 (appendix): how data parallelism affects decode throughput.
+
+Sweep TP x DP over one node (TP1DP8 ... TP8DP1), measuring for each the
+maximum decode batch size and the per-request decode iteration breakdown.
+Shapes to reproduce: DP-heavy configs OOM or get tiny batches (weight
+duplicates crowd out KV), so weight-loading per request blows up; TP-heavy
+configs shard weights and batch super-linearly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.costmodel.step import StepCostModel
+from repro.errors import CapacityError
+from repro.hardware.cluster import ClusterSpec, make_cluster
+from repro.models.config import ModelConfig
+from repro.models.registry import get_model
+from repro.parallel.config import ParallelConfig
+from repro.parallel.memory import kv_capacity_tokens
+from repro.utils.tables import ascii_table
+
+
+@dataclass(frozen=True)
+class Fig15Row:
+    label: str
+    fits: bool
+    max_batch: int
+    # Per-request decode-iteration time components (seconds), i.e. the
+    # iteration breakdown divided by the batch it advances.
+    load_weight: float
+    compute: float
+    allreduce: float
+
+    @property
+    def runtime_per_request(self) -> float:
+        return self.load_weight + self.compute + self.allreduce
+
+
+@dataclass(frozen=True)
+class Fig15Result:
+    rows: list[Fig15Row]
+
+    def row(self, label: str) -> Fig15Row:
+        for r in self.rows:
+            if r.label == label:
+                return r
+        raise KeyError(label)
+
+
+def run_fig15(
+    model: ModelConfig | None = None,
+    cluster: ClusterSpec | None = None,
+    *,
+    context_len: int = 1024,
+    max_num_seqs: int = 4096,
+) -> Fig15Result:
+    model = model or get_model("llama2-13b")
+    cluster = cluster or make_cluster("L4", 8)
+    n = cluster.num_gpus
+    rows: list[Fig15Row] = []
+    tp = 1
+    while tp <= n:
+        dp = n // tp
+        cfg = ParallelConfig(tp=tp, pp=1, dp=dp)
+        label = f"TP{tp}DP{dp}"
+        try:
+            replica = replace(cfg, dp=1)
+            capacity = kv_capacity_tokens(model, cluster, replica)
+            b_replica = max(1, min(int(capacity / context_len), max_num_seqs))
+            costs = StepCostModel(model, cluster, replica)
+            iteration = costs.decode_iteration_time(
+                b_replica, b_replica * context_len
+            )
+            att = iteration.attributed()
+            per_req = 1.0 / b_replica  # replica advances b_replica requests
+            rows.append(
+                Fig15Row(
+                    label=label,
+                    fits=True,
+                    max_batch=b_replica * dp,
+                    load_weight=att["weight_transfer"] * per_req,
+                    compute=att["compute"] * per_req,
+                    allreduce=att["communication"] * per_req,
+                )
+            )
+        except CapacityError:
+            rows.append(
+                Fig15Row(
+                    label=label,
+                    fits=False,
+                    max_batch=0,
+                    load_weight=0.0,
+                    compute=0.0,
+                    allreduce=0.0,
+                )
+            )
+        tp *= 2
+    return Fig15Result(rows=rows)
+
+
+def render_fig15(result: Fig15Result | None = None) -> str:
+    result = result if result is not None else run_fig15()
+    table_rows = []
+    for r in result.rows:
+        if not r.fits:
+            table_rows.append([r.label, "OOM", "-", "-", "-", "-"])
+            continue
+        table_rows.append(
+            [
+                r.label,
+                str(r.max_batch),
+                f"{r.load_weight * 1e3:.3f}",
+                f"{r.compute * 1e3:.3f}",
+                f"{r.allreduce * 1e3:.3f}",
+                f"{r.runtime_per_request * 1e3:.3f}",
+            ]
+        )
+    return ascii_table(
+        ["config", "batch", "load wt (ms/req)", "compute", "allreduce", "total"],
+        table_rows,
+        title="Figure 15: decode runtime per request and batch size, TP x DP",
+    )

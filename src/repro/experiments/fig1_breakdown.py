@@ -1,0 +1,120 @@
+"""Figure 1: prefill/decode execution-time breakdown across TP x PP.
+
+LLaMA2-13B on eight L4 GPUs, global batch 16 (pipeline parallelism divides
+into micro-batches of 16/PP). For each configuration we measure, via the
+cost model, the wall time of (a) prefilling the batch and (b) one decode
+iteration, attributed into Fig. 1's categories: communication, compute,
+weight transfer.
+
+Paper shape to reproduce: prefill time *increases* with TP (communication
+dominated); decode time *decreases* with TP (weight transfer dominated
+under PP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.pipeline import pipeline_time
+from repro.costmodel.step import StepCostModel
+from repro.hardware.cluster import ClusterSpec, make_cluster
+from repro.models.config import ModelConfig
+from repro.models.registry import get_model
+from repro.parallel.config import ParallelConfig
+from repro.utils.tables import ascii_table
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    """One configuration's stage times and attribution."""
+
+    label: str
+    prefill_time: float
+    prefill_parts: dict[str, float]
+    decode_time: float
+    decode_parts: dict[str, float]
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    rows: list[Fig1Row]
+
+    def normalized(self, stage: str) -> dict[str, float]:
+        """Stage times divided by the slowest configuration's (the paper
+        normalizes each subplot to its maximum)."""
+        times = {
+            r.label: (r.prefill_time if stage == "prefill" else r.decode_time)
+            for r in self.rows
+        }
+        vmax = max(times.values())
+        return {k: v / vmax for k, v in times.items()}
+
+
+def run_fig1(
+    model: ModelConfig | None = None,
+    cluster: ClusterSpec | None = None,
+    *,
+    global_batch: int = 16,
+    prompt_len: int = 1024,
+) -> Fig1Result:
+    """Measure the Fig. 1 sweep: TP1PP8 ... TP8PP1."""
+    model = model or get_model("llama2-13b")
+    cluster = cluster or make_cluster("L4", 8)
+    n = cluster.num_gpus
+    rows: list[Fig1Row] = []
+    tp = 1
+    while tp <= n:
+        pp = n // tp
+        cfg = ParallelConfig(tp=tp, pp=pp)
+        costs = StepCostModel(model, cluster, cfg)
+
+        # Prefill: the batch splits into PP micro-batches that pipeline.
+        micro_seqs = max(1, global_batch // pp)
+        num_micro = max(1, global_batch // micro_seqs)
+        stage = costs.prefill_stage_time([prompt_len] * micro_seqs)
+        prefill_time = pipeline_time(stage.total, pp, num_micro)
+        prefill_parts = stage.scale(num_micro).attributed()
+
+        # Decode: one iteration advancing the whole batch (context = prompt).
+        iteration = costs.decode_iteration_time(
+            global_batch, global_batch * prompt_len
+        )
+        rows.append(
+            Fig1Row(
+                label=f"TP{tp}PP{pp}",
+                prefill_time=prefill_time,
+                prefill_parts=prefill_parts,
+                decode_time=iteration.total,
+                decode_parts=iteration.attributed(),
+            )
+        )
+        tp *= 2
+    return Fig1Result(rows=rows)
+
+
+def render_fig1(result: Fig1Result | None = None) -> str:
+    result = result if result is not None else run_fig1()
+    sections = []
+    for stage in ("prefill", "decode"):
+        norm = result.normalized(stage)
+        rows = []
+        for r in result.rows:
+            parts = r.prefill_parts if stage == "prefill" else r.decode_parts
+            total = sum(parts.values())
+            rows.append(
+                [
+                    r.label,
+                    f"{norm[r.label]:.2f}",
+                    f"{parts['communication'] / total:.2f}",
+                    f"{parts['compute'] / total:.2f}",
+                    f"{parts['weight_transfer'] / total:.2f}",
+                ]
+            )
+        sections.append(
+            ascii_table(
+                ["config", "norm time", "comm", "compute", "weight xfer"],
+                rows,
+                title=f"Figure 1 ({stage}) - LLaMA2-13B, 8x L4, batch 16",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,56 @@
+"""Table 1: GPU hardware specifications.
+
+Renders the registry entries that parameterize every other experiment, in
+the paper's layout (memory size, memory bandwidth, FLOPS, NVLink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gpu import GPU_REGISTRY, GPUSpec
+from repro.utils.tables import ascii_table
+from repro.utils.units import GB, GIB
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    gpu: str
+    memory_gib: float
+    bandwidth_gbs: float
+    tflops: float
+    nvlink: bool
+
+
+def run_table1() -> list[Table1Row]:
+    """Collect the Table 1 rows from the GPU registry."""
+    rows = []
+    for spec in GPU_REGISTRY.values():
+        rows.append(
+            Table1Row(
+                gpu=spec.name,
+                memory_gib=spec.memory_bytes / GIB,
+                bandwidth_gbs=spec.hbm_bandwidth / GB,
+                tflops=spec.flops / 1e12,
+                nvlink=spec.has_nvlink,
+            )
+        )
+    return rows
+
+
+def render_table1(rows: list[Table1Row] | None = None) -> str:
+    rows = rows if rows is not None else run_table1()
+    return ascii_table(
+        ["GPU Model", "Memory Size", "Memory Bandwidth", "FLOPS", "NVLink"],
+        [
+            [
+                r.gpu,
+                f"{r.memory_gib:.0f} GiB",
+                f"{r.bandwidth_gbs:.0f} GB/s",
+                f"{r.tflops:.0f}T",
+                "yes" if r.nvlink else "no",
+            ]
+            for r in rows
+        ],
+        title="Table 1. GPU hardware specification",
+    )

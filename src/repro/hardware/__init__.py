@@ -1,0 +1,32 @@
+"""Hardware models: GPUs, interconnects, clusters.
+
+This subpackage encodes the performance-relevant characteristics of the
+paper's testbeds (Table 1): memory capacity, HBM bandwidth, peak FLOPS, and
+the interconnect (PCIe 4.0 x8 vs NVLink). All simulation-time costs are
+derived from these numbers through the cost model in :mod:`repro.costmodel`.
+"""
+
+from repro.hardware.gpu import GPUSpec, GPU_REGISTRY, get_gpu, register_gpu
+from repro.hardware.interconnect import (
+    Interconnect,
+    PCIE_4_X8,
+    PCIE_4_X16,
+    NVLINK_A100,
+    allreduce_time,
+    p2p_time,
+)
+from repro.hardware.cluster import ClusterSpec
+
+__all__ = [
+    "GPUSpec",
+    "GPU_REGISTRY",
+    "get_gpu",
+    "register_gpu",
+    "Interconnect",
+    "PCIE_4_X8",
+    "PCIE_4_X16",
+    "NVLINK_A100",
+    "allreduce_time",
+    "p2p_time",
+    "ClusterSpec",
+]

@@ -1,0 +1,105 @@
+"""Cluster specification: N GPUs + fabric + host memory.
+
+A :class:`ClusterSpec` corresponds to one testbed row in the paper's
+evaluation, e.g. "eight A10s on g5.48xlarge with 80 GiB of CPU memory per
+GPU, PCIe 4.0 x8". Convenience constructors build the exact testbeds used
+in the evaluation section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.hardware.gpu import GPUSpec, get_gpu
+from repro.hardware.interconnect import Interconnect, NVLINK_A100, PCIE_4_X8
+from repro.utils.units import GB, GIB, fmt_bytes
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous single-node GPU cluster.
+
+    Attributes:
+        gpu: Per-device specification.
+        num_gpus: Number of devices.
+        fabric: Inter-GPU interconnect (used for all-reduce / p2p).
+        host_link_bandwidth: CPU<->GPU bandwidth per GPU in bytes/s
+            (PCIe; used for weight reloads and KV swaps).
+        cpu_memory_per_gpu: Host memory budget per GPU for the tiered KV
+            buffer (the paper allocates 80 GiB per GPU).
+        pinned_copy_efficiency: Fraction of host-link bandwidth attainable
+            when staging through pinned memory (Section 5.2 describes the
+            pinned-staging design; non-pinned transfers are slower).
+    """
+
+    gpu: GPUSpec
+    num_gpus: int
+    fabric: Interconnect
+    host_link_bandwidth: float = 16 * GB
+    cpu_memory_per_gpu: int = 80 * GIB
+    pinned_copy_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ConfigurationError("cluster needs at least one GPU")
+        if self.host_link_bandwidth <= 0:
+            raise ConfigurationError("host_link_bandwidth must be positive")
+        if self.cpu_memory_per_gpu < 0:
+            raise ConfigurationError("cpu_memory_per_gpu must be >= 0")
+        if not (0 < self.pinned_copy_efficiency <= 1):
+            raise ConfigurationError("pinned_copy_efficiency must be in (0, 1]")
+
+    @property
+    def total_gpu_memory(self) -> int:
+        """Aggregate device memory across the cluster."""
+        return self.gpu.memory_bytes * self.num_gpus
+
+    @property
+    def total_cpu_buffer(self) -> int:
+        """Aggregate host memory available for the tiered KV buffer."""
+        return self.cpu_memory_per_gpu * self.num_gpus
+
+    @property
+    def effective_host_bandwidth(self) -> float:
+        """Attainable CPU<->GPU bandwidth per GPU (pinned staging)."""
+        return self.host_link_bandwidth * self.pinned_copy_efficiency
+
+    def with_fabric(self, fabric: Interconnect) -> "ClusterSpec":
+        """Return a copy with a different inter-GPU fabric (Fig. 14 sweeps)."""
+        return replace(self, fabric=fabric)
+
+    def scaled_bandwidth(self, factor: float) -> "ClusterSpec":
+        """Return a copy with all-reduce bandwidth scaled by ``factor``."""
+        return replace(self, fabric=self.fabric.scaled(factor))
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.num_gpus}x{self.gpu.name} "
+            f"({fmt_bytes(self.gpu.memory_bytes)} each, fabric={self.fabric.name}, "
+            f"host link={self.host_link_bandwidth / GB:.0f} GB/s)"
+        )
+
+
+def make_cluster(
+    gpu_name: str,
+    num_gpus: int,
+    *,
+    fabric: Interconnect | None = None,
+    cpu_memory_per_gpu: int = 80 * GIB,
+) -> ClusterSpec:
+    """Build a cluster for a named GPU, picking the natural fabric.
+
+    A100-SXM nodes get NVLink; everything else gets PCIe 4.0 x8, matching
+    the paper's testbeds (g5.48xlarge / g6.48xlarge expose PCIe x8 per GPU).
+    """
+    gpu = get_gpu(gpu_name)
+    if fabric is None:
+        fabric = NVLINK_A100 if gpu.has_nvlink else PCIE_4_X8
+    return ClusterSpec(
+        gpu=gpu,
+        num_gpus=num_gpus,
+        fabric=fabric,
+        cpu_memory_per_gpu=cpu_memory_per_gpu,
+    )

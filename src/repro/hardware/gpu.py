@@ -1,0 +1,124 @@
+"""GPU specifications and the device registry.
+
+The registry is seeded with the three GPUs from Table 1 of the paper
+(A10, L4, A100) plus the PCIe variant of the A100 used in Fig. 11. Peak
+numbers come straight from the table; the ``*_efficiency`` fields are the
+attainable fractions of peak used by the roofline model (real kernels do not
+hit datasheet peaks; vendor-quoted dense fp16 FLOPS are typically achieved
+at 40-70% in transformer GEMMs, and HBM streams at ~75-85% of peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.utils.units import GIB, GB
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Performance-relevant description of one GPU model.
+
+    Attributes:
+        name: Registry key, e.g. ``"A10"``.
+        memory_bytes: Usable device memory.
+        hbm_bandwidth: Peak device-memory bandwidth in bytes/s.
+        flops: Peak dense fp16 throughput in FLOP/s.
+        has_nvlink: Whether GPUs of this model in the target node are
+            connected by NVLink (otherwise PCIe only).
+        compute_efficiency: Attainable fraction of peak FLOPS for large
+            GEMMs (prefill-like shapes).
+        bandwidth_efficiency: Attainable fraction of peak HBM bandwidth for
+            streaming reads (weight/KV loading).
+        kernel_overhead: Fixed per-layer, per-forward-pass overhead in
+            seconds (kernel launches, small non-GEMM ops).
+    """
+
+    name: str
+    memory_bytes: int
+    hbm_bandwidth: float
+    flops: float
+    has_nvlink: bool
+    compute_efficiency: float = 0.55
+    bandwidth_efficiency: float = 0.80
+    kernel_overhead: float = 25e-6
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ConfigurationError(f"{self.name}: memory_bytes must be positive")
+        if self.hbm_bandwidth <= 0 or self.flops <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidth and flops must be positive")
+        if not (0 < self.compute_efficiency <= 1 and 0 < self.bandwidth_efficiency <= 1):
+            raise ConfigurationError(f"{self.name}: efficiencies must be in (0, 1]")
+
+    @property
+    def effective_flops(self) -> float:
+        """Attainable FLOP/s for large GEMMs."""
+        return self.flops * self.compute_efficiency
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Attainable HBM bytes/s for streaming access."""
+        return self.hbm_bandwidth * self.bandwidth_efficiency
+
+    def with_overrides(self, **kwargs: object) -> "GPUSpec":
+        """Return a copy with selected fields replaced (for what-if studies)."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+# Table 1 of the paper. FLOPS are the fp16 tensor-core numbers the paper
+# quotes (A10 125T, L4 121T, A100 312T); memory bandwidths likewise.
+_A10 = GPUSpec(
+    name="A10",
+    memory_bytes=24 * GIB,
+    hbm_bandwidth=600 * GB,
+    flops=125e12,
+    has_nvlink=False,
+)
+
+_L4 = GPUSpec(
+    name="L4",
+    memory_bytes=24 * GIB,
+    hbm_bandwidth=300 * GB,
+    flops=121e12,
+    has_nvlink=False,
+)
+
+_A100_SXM = GPUSpec(
+    name="A100-SXM",
+    memory_bytes=40 * GIB,
+    hbm_bandwidth=1555 * GB,
+    flops=312e12,
+    has_nvlink=True,
+)
+
+_A100_PCIE = GPUSpec(
+    name="A100-PCIE",
+    memory_bytes=40 * GIB,
+    hbm_bandwidth=1555 * GB,
+    flops=312e12,
+    has_nvlink=False,
+)
+
+GPU_REGISTRY: dict[str, GPUSpec] = {
+    g.name: g for g in (_A10, _L4, _A100_SXM, _A100_PCIE)
+}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU spec by name (case-insensitive)."""
+    key = name.upper()
+    for reg_name, spec in GPU_REGISTRY.items():
+        if reg_name.upper() == key:
+            return spec
+    raise ConfigurationError(
+        f"unknown GPU {name!r}; known: {sorted(GPU_REGISTRY)}"
+    )
+
+
+def register_gpu(spec: GPUSpec, overwrite: bool = False) -> None:
+    """Add a custom GPU spec to the registry."""
+    if spec.name in GPU_REGISTRY and not overwrite:
+        raise ConfigurationError(f"GPU {spec.name!r} already registered")
+    GPU_REGISTRY[spec.name] = spec

@@ -1,0 +1,144 @@
+"""Inter-GPU interconnect models: point-to-point and all-reduce costs.
+
+The paper's analysis (Section 3.1 / Appendix A) hinges on two facts that
+this module encodes:
+
+1. In tensor parallelism the all-reduced activation volume is *constant* in
+   the TP degree (activations are replicated), so adding GPUs does not
+   shrink traffic.
+2. The *all-reduce bandwidth* — tensor size divided by all-reduce runtime —
+   **decreases** as more GPUs join, because the communication scheme grows
+   more complex and (on PCIe) all traffic funnels through the host bridge.
+
+We model an all-reduce of ``size`` bytes over ``n`` devices with a
+ring-style cost:
+
+    t = steps * latency + (2 * (n-1) / n) * size / link_eff(n)
+
+where ``link_eff(n) = link_bandwidth / (1 + contention * (n - 2))`` captures
+the degradation. On NVLink ``contention`` is small (switched fabric); on
+PCIe it is large (shared host bridge). A bandwidth scale knob supports the
+Fig. 14 projection study (mutating all-reduce bandwidth from 0.1x to 50x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.utils.units import GB, US
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A symmetric inter-GPU fabric.
+
+    Attributes:
+        name: Human-readable label.
+        link_bandwidth: Per-direction point-to-point bandwidth in bytes/s.
+        latency: Per-message latency in seconds.
+        contention: Per-extra-participant bandwidth degradation factor for
+            collectives (0 = perfectly switched fabric).
+        bandwidth_scale: Multiplier on link bandwidth, used by the Fig. 14
+            interconnect-bandwidth sensitivity study.
+    """
+
+    name: str
+    link_bandwidth: float
+    latency: float
+    contention: float
+    bandwidth_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth <= 0:
+            raise ConfigurationError(f"{self.name}: link_bandwidth must be positive")
+        if self.latency < 0 or self.contention < 0:
+            raise ConfigurationError(f"{self.name}: latency/contention must be >= 0")
+        if self.bandwidth_scale <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidth_scale must be positive")
+
+    @property
+    def effective_link_bandwidth(self) -> float:
+        """Link bandwidth after applying the what-if scale factor."""
+        return self.link_bandwidth * self.bandwidth_scale
+
+    def collective_bandwidth(self, n: int) -> float:
+        """Effective per-link bandwidth during an ``n``-way collective.
+
+        Every additional participant adds host-bridge (or switch) traversal
+        pressure, including the second one: even a 2-way all-reduce over
+        PCIe runs well below link rate because both directions cross the
+        same root complex.
+        """
+        if n < 2:
+            raise ConfigurationError("collectives need at least 2 participants")
+        return self.effective_link_bandwidth / (1.0 + self.contention * (n - 1))
+
+    def scaled(self, factor: float) -> "Interconnect":
+        """Return a copy with bandwidth scaled by ``factor`` (Fig. 14)."""
+        return replace(self, bandwidth_scale=self.bandwidth_scale * factor)
+
+
+def allreduce_time(fabric: Interconnect, size_bytes: float, n: int) -> float:
+    """Time for an all-reduce of ``size_bytes`` across ``n`` devices.
+
+    Uses the ring algorithm cost: 2(n-1) steps, each moving ``size/n`` bytes
+    per link, so total per-link traffic is ``2(n-1)/n * size``. The paper's
+    "all-reduce bandwidth" (size / time) is monotonically decreasing in
+    ``n`` under this model, matching Observation 1.
+    """
+    if size_bytes < 0:
+        raise ConfigurationError("allreduce size must be >= 0")
+    if n <= 1 or size_bytes == 0:
+        return 0.0
+    steps = 2 * (n - 1)
+    traffic = 2.0 * (n - 1) / n * size_bytes
+    return steps * fabric.latency + traffic / fabric.collective_bandwidth(n)
+
+
+def allreduce_bandwidth(fabric: Interconnect, size_bytes: float, n: int) -> float:
+    """The paper's 'all-reduce bandwidth': tensor size / all-reduce runtime."""
+    t = allreduce_time(fabric, size_bytes, n)
+    if t == 0.0:
+        return float("inf")
+    return size_bytes / t
+
+
+def p2p_time(fabric: Interconnect, size_bytes: float) -> float:
+    """Point-to-point transfer time (pipeline-parallel activation sends)."""
+    if size_bytes < 0:
+        raise ConfigurationError("p2p size must be >= 0")
+    if size_bytes == 0:
+        return 0.0
+    return fabric.latency + size_bytes / fabric.effective_link_bandwidth
+
+
+# PCIe 4.0 x8: 16 GB/s per direction (the paper quotes 16 GiB/s; datasheet
+# is ~15.75 GB/s usable — the difference is below model noise). Collectives
+# over PCIe go through the host, hence the high contention coefficient.
+# contention=1.0 puts n-rank collective bandwidth at 16/n GB/s — i.e.
+# ~8/4/2 GB/s at 2/4/8 ranks, matching measured NCCL all-reduce algbw on
+# host-bounced PCIe gen4 x8 topologies without P2P.
+PCIE_4_X8 = Interconnect(
+    name="pcie4-x8",
+    link_bandwidth=16 * GB,
+    latency=10 * US,
+    contention=1.0,
+)
+
+# PCIe 4.0 x16 for reference configurations.
+PCIE_4_X16 = Interconnect(
+    name="pcie4-x16",
+    link_bandwidth=32 * GB,
+    latency=10 * US,
+    contention=0.45,
+)
+
+# NVLink 3 (A100 SXM): 600 GB/s aggregate; per-direction usable ~300 GB/s
+# through NVSwitch, near-zero contention growth.
+NVLINK_A100 = Interconnect(
+    name="nvlink-a100",
+    link_bandwidth=300 * GB,
+    latency=5 * US,
+    contention=0.02,
+)

@@ -1,0 +1,13 @@
+"""Transformer model descriptions and per-layer cost accounting.
+
+Encodes the four models used in the paper's evaluation (LLaMA2-13B for the
+Fig. 1 motivation study; the 15B LLaMA3 variant, CodeLLaMA-34B and
+LLaMA2-70B for the end-to-end results), plus the arithmetic that the
+roofline cost model consumes: parameter counts, weight bytes, KV-cache bytes
+per token, and FLOPs for prefill/decode.
+"""
+
+from repro.models.config import ModelConfig
+from repro.models.registry import MODEL_REGISTRY, get_model, register_model
+
+__all__ = ["ModelConfig", "MODEL_REGISTRY", "get_model", "register_model"]

@@ -1,0 +1,164 @@
+"""Model architecture configuration and derived byte/FLOP accounting.
+
+All derived quantities follow the notation of the paper's Appendix A
+(Table 2): ``W`` is parameters of one layer, weight bytes are ``2W`` for
+fp16, attention data movement is Q/K/V traffic in prefill and KV-cache reads
+in decode, and attention compute is the score/value matmuls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture of a decoder-only transformer with GQA.
+
+    Attributes:
+        name: Registry key, e.g. ``"llama2-70b"``.
+        num_layers: Decoder layer count ``L``.
+        hidden_size: Model width ``h`` (= num_heads * head_dim).
+        num_heads: Query head count ``hq``.
+        num_kv_heads: KV head count ``hkv`` (GQA; == num_heads for MHA).
+        intermediate_size: MLP inner width ``f`` (SwiGLU: three matrices).
+        vocab_size: Vocabulary ``V`` for embedding / LM head accounting.
+        dtype_bytes: Bytes per element (2 for fp16, the paper's dtype).
+    """
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    num_kv_heads: int
+    intermediate_size: int
+    vocab_size: int
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if min(self.num_layers, self.hidden_size, self.num_heads,
+               self.num_kv_heads, self.intermediate_size, self.vocab_size) <= 0:
+            raise ConfigurationError(f"{self.name}: all dimensions must be positive")
+        if self.hidden_size % self.num_heads != 0:
+            raise ConfigurationError(
+                f"{self.name}: hidden_size {self.hidden_size} not divisible by "
+                f"num_heads {self.num_heads}"
+            )
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ConfigurationError(
+                f"{self.name}: num_heads {self.num_heads} not divisible by "
+                f"num_kv_heads {self.num_kv_heads}"
+            )
+        if self.dtype_bytes not in (1, 2, 4):
+            raise ConfigurationError(f"{self.name}: unsupported dtype_bytes {self.dtype_bytes}")
+
+    # ------------------------------------------------------------------ #
+    # Dimensions
+    # ------------------------------------------------------------------ #
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension ``d``."""
+        return self.hidden_size // self.num_heads
+
+    # ------------------------------------------------------------------ #
+    # Parameter counts
+    # ------------------------------------------------------------------ #
+
+    @property
+    def layer_params(self) -> int:
+        """Parameters ``W`` of one decoder layer.
+
+        Q and O projections are h*h; K and V are h * (hkv * d) each (GQA);
+        the SwiGLU MLP has three h*f matrices. Norm weights are negligible
+        but included for exactness.
+        """
+        h, f, d = self.hidden_size, self.intermediate_size, self.head_dim
+        attn = h * h + 2 * h * (self.num_kv_heads * d) + h * h
+        mlp = 3 * h * f
+        norms = 2 * h
+        return attn + mlp + norms
+
+    @property
+    def embedding_params(self) -> int:
+        """Token embedding parameters (V * h)."""
+        return self.vocab_size * self.hidden_size
+
+    @property
+    def total_params(self) -> int:
+        """Total parameters: layers + input embedding + LM head."""
+        return self.num_layers * self.layer_params + 2 * self.embedding_params
+
+    # ------------------------------------------------------------------ #
+    # Byte accounting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def layer_weight_bytes(self) -> int:
+        """Weight bytes of one layer (``2W`` at fp16)."""
+        return self.layer_params * self.dtype_bytes
+
+    @property
+    def total_weight_bytes(self) -> int:
+        """Weight bytes of the whole model, embeddings included."""
+        return self.total_params * self.dtype_bytes
+
+    @property
+    def kv_bytes_per_token_per_layer(self) -> int:
+        """KV-cache bytes one token occupies in one layer (K and V)."""
+        return 2 * self.num_kv_heads * self.head_dim * self.dtype_bytes
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes one token occupies across all layers."""
+        return self.num_layers * self.kv_bytes_per_token_per_layer
+
+    def activation_bytes_per_token(self) -> int:
+        """Bytes of one token's residual-stream activation (all-reduced
+        tensor size per TP all-reduce, per token)."""
+        return self.hidden_size * self.dtype_bytes
+
+    # ------------------------------------------------------------------ #
+    # FLOP accounting (per layer; multiply by layer count externally)
+    # ------------------------------------------------------------------ #
+
+    def linear_flops_per_token_per_layer(self) -> float:
+        """Dense-projection FLOPs for one token in one layer (2 * params)."""
+        return 2.0 * self.layer_params
+
+    def attention_flops_prefill_per_layer(self, seq_len: int) -> float:
+        """Attention score+value FLOPs to prefill one sequence of
+        ``seq_len`` tokens in one layer (causal, hence the 1/2)."""
+        d = self.head_dim
+        return 2.0 * 2.0 * self.num_heads * d * (seq_len * seq_len) / 2.0
+
+    def attention_flops_decode_per_layer(self, context_len: int) -> float:
+        """Attention FLOPs for one new token attending over ``context_len``
+        cached tokens in one layer."""
+        d = self.head_dim
+        return 2.0 * 2.0 * self.num_heads * d * context_len
+
+    def qkv_io_bytes_prefill_per_layer(self, num_tokens: int) -> float:
+        """HBM traffic of writing K/V and reading/writing Q,K,V activations
+        during prefill (the ``T_attn_dm`` prefill term of Table 3)."""
+        d = self.head_dim
+        return float(
+            num_tokens * (self.num_heads + 2 * self.num_kv_heads) * d * self.dtype_bytes
+        )
+
+    def kv_read_bytes_decode_per_layer(self, context_tokens: int) -> float:
+        """HBM traffic of reading the KV cache for decode attention over a
+        total of ``context_tokens`` cached tokens (summed across the batch)."""
+        d = self.head_dim
+        return float(2 * context_tokens * self.num_kv_heads * d * self.dtype_bytes)
+
+    def describe(self) -> str:
+        """One-line summary with derived totals."""
+        return (
+            f"{self.name}: L={self.num_layers} h={self.hidden_size} "
+            f"hq={self.num_heads} hkv={self.num_kv_heads} f={self.intermediate_size} "
+            f"params={self.total_params / 1e9:.2f}B "
+            f"kv/token={self.kv_bytes_per_token / 1024:.1f} KiB"
+        )

@@ -1,0 +1,92 @@
+"""Registry of the model architectures used in the paper's evaluation.
+
+Sources for the configurations:
+
+- ``llama2-13b``: Touvron et al. 2023b (used in the Fig. 1 motivation
+  study on 8x L4).
+- ``llama3-15b``: the cited ``elinas/Llama-3-15B-Instruct-zeroed``
+  checkpoint — a depth-upscale of LLaMA3-8B (same width/GQA, 64 layers,
+  which lands at ~15B parameters with the 128k vocabulary).
+- ``codellama-34b``: Roziere et al. 2023.
+- ``llama2-70b``: Touvron et al. 2023b.
+
+All use fp16 as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.models.config import ModelConfig
+
+_LLAMA2_13B = ModelConfig(
+    name="llama2-13b",
+    num_layers=40,
+    hidden_size=5120,
+    num_heads=40,
+    num_kv_heads=40,
+    intermediate_size=13824,
+    vocab_size=32000,
+)
+
+_LLAMA3_15B = ModelConfig(
+    name="llama3-15b",
+    num_layers=64,
+    hidden_size=4096,
+    num_heads=32,
+    num_kv_heads=8,
+    intermediate_size=14336,
+    vocab_size=128256,
+)
+
+_CODELLAMA_34B = ModelConfig(
+    name="codellama-34b",
+    num_layers=48,
+    hidden_size=8192,
+    num_heads=64,
+    num_kv_heads=8,
+    intermediate_size=22016,
+    vocab_size=32016,
+)
+
+_LLAMA2_70B = ModelConfig(
+    name="llama2-70b",
+    num_layers=80,
+    hidden_size=8192,
+    num_heads=64,
+    num_kv_heads=8,
+    intermediate_size=28672,
+    vocab_size=32000,
+)
+
+MODEL_REGISTRY: dict[str, ModelConfig] = {
+    m.name: m
+    for m in (_LLAMA2_13B, _LLAMA3_15B, _CODELLAMA_34B, _LLAMA2_70B)
+}
+
+# Short aliases used throughout the paper's figures ("15b", "34b", "70b").
+_ALIASES = {
+    "13b": "llama2-13b",
+    "15b": "llama3-15b",
+    "34b": "codellama-34b",
+    "70b": "llama2-70b",
+}
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model by registry name or paper alias ('15b', '34b', '70b')."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return MODEL_REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)} "
+            f"plus aliases {sorted(_ALIASES)}"
+        ) from None
+
+
+def register_model(config: ModelConfig, overwrite: bool = False) -> None:
+    """Add a custom model architecture to the registry."""
+    if config.name in MODEL_REGISTRY and not overwrite:
+        raise ConfigurationError(f"model {config.name!r} already registered")
+    MODEL_REGISTRY[config.name] = config

@@ -1,0 +1,37 @@
+"""Parallelization strategies: configs, shard maps, re-shard plans.
+
+A :class:`ParallelConfig` is a (DP, TP, PP) triple; labels follow the
+paper's figure notation ("D2T2P2", "P8->T4P2"). The memory module computes
+per-GPU weight footprints and the maximum batch size formula of Appendix
+A.3; the resharding module computes the exact bytes each GPU must move to
+transition between two configurations.
+"""
+
+from repro.parallel.config import ParallelConfig, parse_config, parse_transition
+from repro.parallel.enumerate import enumerate_configs, feasible_configs
+from repro.parallel.memory import (
+    weight_bytes_per_gpu,
+    kv_capacity_tokens,
+    kv_bytes_per_token_per_gpu,
+    max_batch_size,
+    fits,
+)
+from repro.parallel.sharding import ShardMap, build_shard_map
+from repro.parallel.resharding import ReshardPlan, plan_reshard
+
+__all__ = [
+    "ParallelConfig",
+    "parse_config",
+    "parse_transition",
+    "enumerate_configs",
+    "feasible_configs",
+    "weight_bytes_per_gpu",
+    "kv_capacity_tokens",
+    "kv_bytes_per_token_per_gpu",
+    "max_batch_size",
+    "fits",
+    "ShardMap",
+    "build_shard_map",
+    "ReshardPlan",
+    "plan_reshard",
+]

@@ -1,0 +1,105 @@
+"""Parallelism configuration triple (DP, TP, PP) and label parsing.
+
+The paper labels configurations as concatenations of ``D``, ``T``, ``P``
+letters with degrees, e.g. ``"D2T2P2"`` (DP=2, TP=2, PP=2) or ``"P8"``
+(PP=8, others 1); Seesaw transitions are written ``"P8->T4P2"`` meaning the
+prefill configuration is PP8 and the decode configuration is TP4+PP2.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.errors import ConfigurationError
+
+
+@total_ordering
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Degrees of data, tensor and pipeline parallelism.
+
+    The total number of GPUs used is ``dp * tp * pp``. Degrees must be
+    positive; powers of two are conventional but not required.
+    """
+
+    tp: int = 1
+    pp: int = 1
+    dp: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name, value in (("tp", self.tp), ("pp", self.pp), ("dp", self.dp)):
+            if not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"{field_name} degree must be a positive int, got {value!r}"
+                )
+
+    @property
+    def num_gpus(self) -> int:
+        """Total devices consumed by this configuration."""
+        return self.dp * self.tp * self.pp
+
+    @property
+    def model_gpus(self) -> int:
+        """Devices holding one model replica (TP * PP)."""
+        return self.tp * self.pp
+
+    def label(self) -> str:
+        """Paper-style label, omitting unit degrees: ``T4P2``, ``D2P4``."""
+        parts = []
+        if self.dp > 1:
+            parts.append(f"D{self.dp}")
+        if self.tp > 1:
+            parts.append(f"T{self.tp}")
+        if self.pp > 1:
+            parts.append(f"P{self.pp}")
+        return "".join(parts) or "T1"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label()
+
+    def __lt__(self, other: "ParallelConfig") -> bool:
+        return (self.dp, self.tp, self.pp) < (other.dp, other.tp, other.pp)
+
+
+_TOKEN_RE = re.compile(r"([DTPdtp])(\d+)")
+
+
+def parse_config(label: str) -> ParallelConfig:
+    """Parse a label like ``"D2T4P1"``, ``"tp4pp2"`` or ``"P8"``.
+
+    Both single-letter (paper figures) and double-letter (``tp``/``pp``/
+    ``dp``) spellings are accepted. Unspecified degrees default to 1.
+    """
+    text = label.strip()
+    if not text:
+        raise ConfigurationError("empty parallel config label")
+    normalized = (
+        text.lower().replace("dp", "d").replace("tp", "t").replace("pp", "p")
+    )
+    matches = list(_TOKEN_RE.finditer(normalized))
+    if not matches or "".join(m.group(0) for m in matches) != normalized:
+        raise ConfigurationError(f"cannot parse parallel config label {label!r}")
+    degrees = {"d": 1, "t": 1, "p": 1}
+    seen: set[str] = set()
+    for m in matches:
+        letter, value = m.group(1).lower(), int(m.group(2))
+        if letter in seen:
+            raise ConfigurationError(f"duplicate {letter!r} degree in {label!r}")
+        seen.add(letter)
+        degrees[letter] = value
+    return ParallelConfig(tp=degrees["t"], pp=degrees["p"], dp=degrees["d"])
+
+
+def parse_transition(label: str) -> tuple[ParallelConfig, ParallelConfig]:
+    """Parse a Seesaw transition label ``"P8->T4P2"`` into (cp, cd)."""
+    if "->" not in label:
+        raise ConfigurationError(f"transition label {label!r} must contain '->'")
+    left, right = label.split("->", 1)
+    return parse_config(left), parse_config(right)
+
+
+def transition_label(cp: ParallelConfig, cd: ParallelConfig) -> str:
+    """Render a (prefill, decode) pair the way the paper's figures do."""
+    return f"{cp.label()}->{cd.label()}"

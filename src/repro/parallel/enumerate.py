@@ -1,0 +1,65 @@
+"""Enumeration of candidate parallelism configurations for a cluster."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.hardware.cluster import ClusterSpec
+from repro.models.config import ModelConfig
+from repro.parallel.config import ParallelConfig
+from repro.parallel.memory import fits
+
+
+def _divisor_powers_of_two(n: int) -> list[int]:
+    """Powers of two that divide ``n`` (degree grid used by the paper)."""
+    out = []
+    d = 1
+    while d <= n:
+        if n % d == 0:
+            out.append(d)
+        d *= 2
+    return out
+
+
+def enumerate_configs(
+    num_gpus: int,
+    *,
+    allow_dp: bool = True,
+    require_all_gpus: bool = True,
+) -> Iterator[ParallelConfig]:
+    """Yield all (DP, TP, PP) triples over power-of-two degrees.
+
+    ``require_all_gpus`` restricts to configurations using every device
+    (the paper's sweep: dp*tp*pp == num_gpus), which is what a
+    throughput-oriented deployment does; set it False to also get
+    partial-cluster configs (used by the disaggregation analysis).
+    """
+    degrees = _divisor_powers_of_two(num_gpus)
+    for dp in degrees if allow_dp else [1]:
+        for tp in degrees:
+            for pp in degrees:
+                total = dp * tp * pp
+                if total > num_gpus:
+                    continue
+                if require_all_gpus and total != num_gpus:
+                    continue
+                yield ParallelConfig(tp=tp, pp=pp, dp=dp)
+
+
+def feasible_configs(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    *,
+    allow_dp: bool = True,
+    require_all_gpus: bool = True,
+) -> list[ParallelConfig]:
+    """All enumerated configs under which the model fits with KV headroom."""
+    return [
+        cfg
+        for cfg in enumerate_configs(
+            cluster.num_gpus,
+            allow_dp=allow_dp,
+            require_all_gpus=require_all_gpus,
+        )
+        if fits(model, cluster, cfg)
+    ]

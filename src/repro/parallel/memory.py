@@ -1,0 +1,103 @@
+"""Per-GPU memory accounting and the maximum-batch-size formula.
+
+Implements the Appendix A.3 arithmetic: with TP sharding weights and KV
+heads, and PP splitting layers, the per-GPU weight footprint is
+``2LW / (TP * PP)`` and the space left over bounds the KV cache. The
+maximum batch size is
+
+    b_max = DP * (M * TP * PP - 2LW) / (4 * L * hkv * d * s)
+
+(in the paper's notation) — TP and PP scale it super-linearly because they
+both shrink the weight replica per GPU, while DP only scales it linearly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CapacityError
+from repro.hardware.cluster import ClusterSpec
+from repro.models.config import ModelConfig
+from repro.parallel.config import ParallelConfig
+
+# Fraction of device memory reserved for activations, CUDA context and
+# fragmentation slack (vLLM's gpu_memory_utilization=0.9 plus workspace).
+ACTIVATION_RESERVE_FRACTION = 0.10
+
+
+def weight_bytes_per_gpu(model: ModelConfig, cfg: ParallelConfig) -> int:
+    """Weight bytes resident on one GPU under ``cfg``.
+
+    Layers divide across PP stages; each layer's weights divide across TP
+    ranks. Embedding and LM head live on the first/last pipeline stages and
+    are TP-sharded; we charge the average per GPU, which is what matters
+    for aggregate KV capacity.
+    """
+    layer_bytes = model.num_layers * model.layer_weight_bytes / (cfg.tp * cfg.pp)
+    embed_bytes = 2 * model.embedding_params * model.dtype_bytes / (cfg.tp * cfg.pp)
+    return int(layer_bytes + embed_bytes)
+
+
+def kv_bytes_per_token_per_gpu(model: ModelConfig, cfg: ParallelConfig) -> float:
+    """KV bytes one token occupies on one GPU.
+
+    TP shards KV heads (hkv / TP per rank); PP means each GPU only caches
+    its own L / PP layers.
+    """
+    return model.kv_bytes_per_token / (cfg.tp * cfg.pp)
+
+
+def kv_capacity_bytes_per_gpu(
+    model: ModelConfig, cluster: ClusterSpec, cfg: ParallelConfig
+) -> float:
+    """Device bytes available for KV cache on one GPU (can be negative if
+    the model replica does not fit)."""
+    usable = cluster.gpu.memory_bytes * (1.0 - ACTIVATION_RESERVE_FRACTION)
+    return usable - weight_bytes_per_gpu(model, cfg)
+
+
+def fits(model: ModelConfig, cluster: ClusterSpec, cfg: ParallelConfig) -> bool:
+    """Whether the model replica fits on each GPU with room for KV cache.
+
+    Requires the configuration to use no more GPUs than available and to
+    leave at least a small positive KV budget (a config that fits weights
+    but can cache zero tokens is useless for inference).
+    """
+    if cfg.num_gpus > cluster.num_gpus:
+        return False
+    spare = kv_capacity_bytes_per_gpu(model, cluster, cfg)
+    min_tokens = 512  # must cache at least a tiny batch to make progress
+    return spare >= min_tokens * kv_bytes_per_token_per_gpu(model, cfg)
+
+
+def kv_capacity_tokens(
+    model: ModelConfig, cluster: ClusterSpec, cfg: ParallelConfig
+) -> int:
+    """Total tokens the GPU KV cache can hold across one DP replica.
+
+    Every GPU in the replica holds its shard of every cached token, so the
+    replica-wide token capacity equals the per-GPU capacity divided by the
+    per-GPU bytes/token (not summed across GPUs).
+    """
+    spare = kv_capacity_bytes_per_gpu(model, cluster, cfg)
+    if spare <= 0:
+        raise CapacityError(
+            f"model {model.name} does not fit on {cluster.gpu.name} under {cfg.label()}"
+        )
+    return int(spare / kv_bytes_per_token_per_gpu(model, cfg))
+
+
+def max_batch_size(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    cfg: ParallelConfig,
+    avg_seq_len: float,
+) -> int:
+    """Maximum concurrent sequences of average length ``avg_seq_len``.
+
+    This is the paper's ``b_max`` (Appendix A.3): per-replica token capacity
+    divided by sequence length, then multiplied by DP (each replica holds an
+    independent batch).
+    """
+    if avg_seq_len <= 0:
+        raise CapacityError("avg_seq_len must be positive")
+    per_replica = kv_capacity_tokens(model, cluster, cfg) / avg_seq_len
+    return max(1, int(per_replica) * cfg.dp)

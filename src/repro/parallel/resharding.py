@@ -1,0 +1,103 @@
+"""Re-shard planning: bytes each GPU moves when switching configurations.
+
+Seesaw re-shards model weights by reloading the required shards from CPU
+memory over the host link (Section 4.1). The plan computed here records,
+per GPU, the bytes of its *new* shard, how much of that it already holds
+from the *old* shard (reusable without a host transfer), and the resulting
+transfer time. The baseline executor reloads the full new shard; the
+overlap-aware number is exposed for the shard-reuse ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cluster import ClusterSpec
+from repro.models.config import ModelConfig
+from repro.parallel.config import ParallelConfig
+from repro.parallel.sharding import build_shard_map
+
+
+@dataclass(frozen=True)
+class ReshardPlan:
+    """Cost summary for one configuration transition.
+
+    Attributes:
+        src: Configuration before the switch.
+        dst: Configuration after the switch.
+        bytes_per_gpu: New-shard bytes each GPU must hold afterwards.
+        reusable_bytes_per_gpu: Portion of the new shard already resident
+            on each GPU (same layer range and overlapping TP slice).
+        transfer_bytes_per_gpu: Bytes actually loaded over the host link
+            per GPU (full reload by default).
+    """
+
+    src: ParallelConfig
+    dst: ParallelConfig
+    bytes_per_gpu: tuple[float, ...]
+    reusable_bytes_per_gpu: tuple[float, ...]
+    transfer_bytes_per_gpu: tuple[float, ...]
+
+    @property
+    def max_transfer_bytes(self) -> float:
+        """Bytes moved by the busiest GPU (transfers run in parallel)."""
+        return max(self.transfer_bytes_per_gpu) if self.transfer_bytes_per_gpu else 0.0
+
+    @property
+    def total_transfer_bytes(self) -> float:
+        return float(sum(self.transfer_bytes_per_gpu))
+
+    def transfer_time(self, cluster: ClusterSpec) -> float:
+        """Wall time of the weight reload: GPUs load concurrently over
+        their own host links, so the slowest GPU bounds the switch."""
+        return self.max_transfer_bytes / cluster.effective_host_bandwidth
+
+
+def plan_reshard(
+    model: ModelConfig,
+    src: ParallelConfig,
+    dst: ParallelConfig,
+    *,
+    reuse_overlap: bool = False,
+) -> ReshardPlan:
+    """Compute the weight-movement plan for switching ``src`` -> ``dst``.
+
+    With ``reuse_overlap`` the planner subtracts bytes a GPU already holds
+    (the shard-reuse optimization); by default it charges a full reload of
+    the new shard, matching the implementation described in the paper.
+
+    A no-op transition (``src == dst``) costs zero either way.
+    """
+    if src == dst:
+        n = src.num_gpus
+        zeros = tuple(0.0 for _ in range(n))
+        return ReshardPlan(src=src, dst=dst, bytes_per_gpu=zeros,
+                           reusable_bytes_per_gpu=zeros,
+                           transfer_bytes_per_gpu=zeros)
+
+    src_map = build_shard_map(model, src)
+    dst_map = build_shard_map(model, dst)
+
+    new_bytes: list[float] = []
+    reusable: list[float] = []
+    transfers: list[float] = []
+    for gpu_id in range(dst_map.num_gpus):
+        dst_shard = dst_map.shard_for(gpu_id)
+        need = dst_shard.weight_bytes(model)
+        have = 0.0
+        if gpu_id < src_map.num_gpus:
+            src_shard = src_map.shard_for(gpu_id)
+            # Fraction of the *new* shard already present locally.
+            frac = dst_shard.layer_fraction_overlap(src_shard)
+            have = need * frac
+        new_bytes.append(need)
+        reusable.append(have)
+        transfers.append(max(0.0, need - have) if reuse_overlap else need)
+
+    return ReshardPlan(
+        src=src,
+        dst=dst,
+        bytes_per_gpu=tuple(new_bytes),
+        reusable_bytes_per_gpu=tuple(reusable),
+        transfer_bytes_per_gpu=tuple(transfers),
+    )

@@ -1,0 +1,122 @@
+"""Shard maps: which slice of the model each GPU rank holds.
+
+A :class:`ShardMap` makes the (DP, TP, PP) layout concrete: GPU ``g`` is
+assigned coordinates ``(dp_rank, pp_stage, tp_rank)``; it holds the TP slice
+``tp_rank`` of the contiguous layer range belonging to ``pp_stage``, and it
+caches the KV-head slice ``tp_rank`` for those same layers. The re-sharding
+planner uses two shard maps to compute exactly which weight bytes a GPU is
+missing after a configuration switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models.config import ModelConfig
+from repro.parallel.config import ParallelConfig
+
+
+@dataclass(frozen=True)
+class GPUShard:
+    """The model slice owned by one GPU rank.
+
+    ``layer_range`` is a half-open interval of layer indices; ``tp_rank`` /
+    ``tp_degree`` identify the within-layer slice (1/tp_degree of every
+    weight matrix and of the KV heads).
+    """
+
+    gpu_id: int
+    dp_rank: int
+    pp_stage: int
+    tp_rank: int
+    tp_degree: int
+    layer_range: tuple[int, int]
+
+    @property
+    def num_layers(self) -> int:
+        return self.layer_range[1] - self.layer_range[0]
+
+    def weight_bytes(self, model: ModelConfig) -> float:
+        """Bytes of layer weights this shard holds (embeddings excluded —
+        they are charged separately and never move during re-sharding
+        because both stage configs keep them on the edge stages)."""
+        return self.num_layers * model.layer_weight_bytes / self.tp_degree
+
+    def layer_fraction_overlap(self, other: "GPUShard") -> float:
+        """Fraction of *this* shard's bytes also present in ``other``.
+
+        Two shards overlap on the intersection of their layer ranges; within
+        a layer, TP slices are contiguous along the sharded dimension, so
+        slice ``i`` of degree ``t`` covers ``[i/t, (i+1)/t)`` of each matrix
+        and the overlap of two slices is an interval intersection.
+        """
+        lo = max(self.layer_range[0], other.layer_range[0])
+        hi = min(self.layer_range[1], other.layer_range[1])
+        if hi <= lo or self.num_layers == 0:
+            return 0.0
+        layer_frac = (hi - lo) / self.num_layers
+        a0, a1 = self.tp_rank / self.tp_degree, (self.tp_rank + 1) / self.tp_degree
+        b0, b1 = other.tp_rank / other.tp_degree, (other.tp_rank + 1) / other.tp_degree
+        width = max(0.0, min(a1, b1) - max(a0, b0))
+        my_width = a1 - a0
+        return layer_frac * (width / my_width)
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Complete GPU -> shard assignment for one parallel configuration."""
+
+    config: ParallelConfig
+    shards: tuple[GPUShard, ...]
+
+    def shard_for(self, gpu_id: int) -> GPUShard:
+        return self.shards[gpu_id]
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.shards)
+
+
+def _layer_ranges(num_layers: int, pp: int) -> list[tuple[int, int]]:
+    """Split ``num_layers`` into ``pp`` contiguous, nearly-equal ranges."""
+    base = num_layers // pp
+    extra = num_layers % pp
+    ranges = []
+    start = 0
+    for stage in range(pp):
+        size = base + (1 if stage < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def build_shard_map(model: ModelConfig, cfg: ParallelConfig) -> ShardMap:
+    """Construct the canonical rank layout for ``cfg``.
+
+    GPU ids are assigned in (dp, pp, tp) lexicographic order: TP ranks are
+    adjacent (they communicate every layer), pipeline stages next, replicas
+    outermost — the standard Megatron-style placement.
+    """
+    if model.num_layers < cfg.pp:
+        raise ConfigurationError(
+            f"{model.name}: cannot split {model.num_layers} layers over PP={cfg.pp}"
+        )
+    ranges = _layer_ranges(model.num_layers, cfg.pp)
+    shards = []
+    gpu_id = 0
+    for dp_rank in range(cfg.dp):
+        for pp_stage in range(cfg.pp):
+            for tp_rank in range(cfg.tp):
+                shards.append(
+                    GPUShard(
+                        gpu_id=gpu_id,
+                        dp_rank=dp_rank,
+                        pp_stage=pp_stage,
+                        tp_rank=tp_rank,
+                        tp_degree=cfg.tp,
+                        layer_range=ranges[pp_stage],
+                    )
+                )
+                gpu_id += 1
+    return ShardMap(config=cfg, shards=tuple(shards))

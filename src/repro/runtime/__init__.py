@@ -1,0 +1,31 @@
+"""Simulated execution substrate shared by all engines.
+
+Provides the pieces a real inference engine owns, in simulated form:
+request/sequence state machines, a paged GPU KV-cache allocator, the tiered
+CPU KV buffer, serialized transfer channels (the PCIe links the async
+swap pipeline runs over), and metrics/trace accounting. Engines in
+:mod:`repro.engines` drive these against the cost model's virtual clock.
+"""
+
+from repro.runtime.request import Request, Sequence, SequenceState
+from repro.runtime.kvcache import KVCacheManager
+from repro.runtime.cpu_buffer import CPUKVBuffer
+from repro.runtime.channel import TransferChannel
+from repro.runtime.metrics import RunMetrics, EngineResult, PhaseTimer
+from repro.runtime.trace import Trace, TraceEvent, NullTrace, render_timeline
+
+__all__ = [
+    "Request",
+    "Sequence",
+    "SequenceState",
+    "KVCacheManager",
+    "CPUKVBuffer",
+    "TransferChannel",
+    "RunMetrics",
+    "EngineResult",
+    "PhaseTimer",
+    "Trace",
+    "TraceEvent",
+    "NullTrace",
+    "render_timeline",
+]

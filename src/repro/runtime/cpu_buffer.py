@@ -1,0 +1,92 @@
+"""Tiered CPU KV buffer (Section 4.2 of the paper).
+
+Host memory acts as auxiliary KV storage: prefill phases push each
+sequence's KV here (sharded by the prefill config, re-assembled in shared
+memory), and the decode-phase prefetcher pops sequences FIFO as GPU blocks
+free up. The buffer is shared across all GPUs — re-sharding of the KV cache
+happens implicitly because each GPU writes/reads its own shard of the
+common pool (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError, SimulationError
+
+
+@dataclass
+class CPUKVBuffer:
+    """FIFO token-accounted KV pool in host memory.
+
+    Attributes:
+        capacity_tokens: Total tokens the host allocation can hold
+            (cluster CPU memory / model KV bytes per token).
+    """
+
+    capacity_tokens: int
+    _entries: "OrderedDict[int, int]" = field(default_factory=OrderedDict, repr=False)
+    _used: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_tokens < 0:
+            raise CapacityError("CPU buffer capacity must be >= 0")
+
+    @property
+    def used_tokens(self) -> int:
+        return self._used
+
+    @property
+    def free_tokens(self) -> int:
+        return self.capacity_tokens - self._used
+
+    @property
+    def num_sequences(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def fits(self, tokens: int) -> bool:
+        return tokens <= self.free_tokens
+
+    def push(self, seq_id: int, tokens: int) -> None:
+        """Park a prefilled sequence's KV (``tokens`` of context)."""
+        if seq_id in self._entries:
+            raise SimulationError(f"sequence {seq_id} already buffered")
+        if tokens < 0:
+            raise SimulationError("tokens must be >= 0")
+        if not self.fits(tokens):
+            raise CapacityError(
+                f"CPU buffer overflow: {tokens} tokens > {self.free_tokens} free"
+            )
+        self._entries[seq_id] = tokens
+        self._used += tokens
+
+    def peek(self) -> tuple[int, int]:
+        """Oldest (seq_id, tokens) without removing it."""
+        if not self._entries:
+            raise SimulationError("peek on empty CPU buffer")
+        seq_id = next(iter(self._entries))
+        return seq_id, self._entries[seq_id]
+
+    def pop(self) -> tuple[int, int]:
+        """Remove and return the oldest (seq_id, tokens) — FIFO swap-in
+        order preserves prefill order, bounding queueing delay."""
+        seq_id, tokens = self.peek()
+        del self._entries[seq_id]
+        self._used -= tokens
+        return seq_id, tokens
+
+    def remove(self, seq_id: int) -> int:
+        """Remove a specific sequence (e.g. cancelled); returns tokens."""
+        if seq_id not in self._entries:
+            raise SimulationError(f"sequence {seq_id} not in CPU buffer")
+        tokens = self._entries.pop(seq_id)
+        self._used -= tokens
+        return tokens
+
+    def __contains__(self, seq_id: int) -> bool:
+        return seq_id in self._entries

@@ -1,0 +1,135 @@
+"""Paged GPU KV-cache manager (vLLM-style block allocator, simulated).
+
+Tracks, at block granularity, which sequences occupy the device KV cache of
+one DP replica. Engines allocate a sequence's current context at admission
+and grow it one token per decode step; the allocator enforces capacity and
+exposes the free-token headroom schedulers use for admission control.
+
+The byte math comes from :mod:`repro.parallel.memory`; the allocator works
+in *tokens of one replica* (every GPU of the replica holds its shard of
+each cached token, so replica capacity is the per-GPU capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError, SimulationError
+
+DEFAULT_BLOCK_SIZE = 16
+
+
+@dataclass
+class KVCacheManager:
+    """Block-granular KV accounting for one replica's GPUs.
+
+    Attributes:
+        capacity_tokens: Total tokens the replica can cache.
+        block_size: Tokens per page (vLLM default 16).
+    """
+
+    capacity_tokens: int
+    block_size: int = DEFAULT_BLOCK_SIZE
+    _blocks: dict[int, int] = field(default_factory=dict, repr=False)
+    _reserved_blocks: dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_tokens < self.block_size:
+            raise CapacityError(
+                f"KV capacity {self.capacity_tokens} tokens is below one block"
+            )
+        if self.block_size < 1:
+            raise CapacityError("block_size must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    # Capacity queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_blocks(self) -> int:
+        return self.capacity_tokens // self.block_size
+
+    @property
+    def used_blocks(self) -> int:
+        return sum(self._blocks.values()) + sum(self._reserved_blocks.values())
+
+    @property
+    def free_blocks(self) -> int:
+        return self.total_blocks - self.used_blocks
+
+    @property
+    def free_tokens(self) -> int:
+        return self.free_blocks * self.block_size
+
+    @property
+    def num_sequences(self) -> int:
+        return len(self._blocks)
+
+    def blocks_for(self, tokens: int) -> int:
+        """Blocks needed to hold ``tokens`` (ceil)."""
+        return -(-tokens // self.block_size)
+
+    def can_allocate(self, tokens: int) -> bool:
+        return self.blocks_for(tokens) <= self.free_blocks
+
+    # ------------------------------------------------------------------ #
+    # Allocation lifecycle
+    # ------------------------------------------------------------------ #
+
+    def allocate(self, seq_id: int, tokens: int) -> None:
+        """Admit a sequence with ``tokens`` of context."""
+        if seq_id in self._blocks:
+            raise SimulationError(f"sequence {seq_id} already allocated")
+        need = self.blocks_for(tokens)
+        reserved = self._reserved_blocks.pop(seq_id, 0)
+        if need > self.free_blocks + reserved:
+            self._reserved_blocks[seq_id] = reserved  # restore before raising
+            raise CapacityError(
+                f"sequence {seq_id}: need {need} blocks, only "
+                f"{self.free_blocks + reserved} free"
+            )
+        self._blocks[seq_id] = need
+
+    def grow(self, seq_id: int, new_total_tokens: int) -> None:
+        """Grow a sequence's allocation to cover ``new_total_tokens``."""
+        if seq_id not in self._blocks:
+            raise SimulationError(f"sequence {seq_id} not allocated")
+        need = self.blocks_for(new_total_tokens)
+        current = self._blocks[seq_id]
+        if need <= current:
+            return
+        extra = need - current
+        if extra > self.free_blocks:
+            raise CapacityError(
+                f"sequence {seq_id}: cannot grow by {extra} blocks "
+                f"({self.free_blocks} free)"
+            )
+        self._blocks[seq_id] = need
+
+    def free(self, seq_id: int) -> int:
+        """Release a finished/evicted sequence; returns blocks freed."""
+        if seq_id not in self._blocks:
+            raise SimulationError(f"sequence {seq_id} not allocated")
+        return self._blocks.pop(seq_id)
+
+    def holds(self, seq_id: int) -> bool:
+        return seq_id in self._blocks
+
+    # ------------------------------------------------------------------ #
+    # Reservations (admission control for known output lengths)
+    # ------------------------------------------------------------------ #
+
+    def reserve(self, seq_id: int, tokens: int) -> None:
+        """Pre-book blocks for a swap-in that is in flight so concurrent
+        admissions cannot oversubscribe the cache."""
+        if seq_id in self._blocks or seq_id in self._reserved_blocks:
+            raise SimulationError(f"sequence {seq_id} already present")
+        need = self.blocks_for(tokens)
+        if need > self.free_blocks:
+            raise CapacityError(f"cannot reserve {need} blocks for seq {seq_id}")
+        self._reserved_blocks[seq_id] = need
+
+    def cancel_reservation(self, seq_id: int) -> None:
+        if seq_id not in self._reserved_blocks:
+            raise SimulationError(f"sequence {seq_id} has no reservation")
+        del self._reserved_blocks[seq_id]

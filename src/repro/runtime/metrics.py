@@ -1,0 +1,135 @@
+"""Run metrics, phase accounting and the engine result record.
+
+Every engine produces an :class:`EngineResult`: end-to-end wall time,
+request/token throughput, per-phase time (prefill / decode / mixed /
+re-shard / swap stall / idle), the accumulated cost-model breakdown, and
+counters (iterations, transitions, swapped tokens). The Fig. 12 speedup
+breakdown and the EXPERIMENTS.md tables are produced straight from these
+records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costmodel.breakdown import Breakdown
+from repro.errors import SimulationError
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall time per engine phase."""
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def add(self, phase: str, seconds: float) -> None:
+        if seconds < 0:
+            raise SimulationError(f"negative phase time for {phase!r}")
+        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+
+    def get(self, phase: str) -> float:
+        return self.phases.get(phase, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+
+@dataclass
+class RunMetrics:
+    """Mutable counters an engine updates while it runs."""
+
+    phase_timer: PhaseTimer = field(default_factory=PhaseTimer)
+    breakdown: Breakdown = field(default_factory=Breakdown)
+    iterations: int = 0
+    transitions: int = 0
+    swapped_in_tokens: int = 0
+    swapped_out_tokens: int = 0
+    resharded_bytes: float = 0.0
+
+    def add_phase(self, phase: str, seconds: float, breakdown: Breakdown | None = None) -> None:
+        self.phase_timer.add(phase, seconds)
+        if breakdown is not None:
+            self.breakdown = self.breakdown + breakdown
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Immutable summary of one engine run."""
+
+    engine: str
+    label: str
+    num_requests: int
+    total_time: float
+    input_tokens: int
+    output_tokens: int
+    phase_time: dict[str, float]
+    breakdown: Breakdown
+    iterations: int
+    transitions: int
+    swapped_in_tokens: int = 0
+    swapped_out_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total_time <= 0:
+            raise SimulationError("engine run must take positive time")
+
+    @property
+    def throughput_rps(self) -> float:
+        """End-to-end request throughput (the paper's headline metric)."""
+        return self.num_requests / self.total_time
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        """Generated-token throughput."""
+        return self.output_tokens / self.total_time
+
+    @property
+    def total_tokens_per_s(self) -> float:
+        """Processed-token (input+output) throughput."""
+        return (self.input_tokens + self.output_tokens) / self.total_time
+
+    def phase_fraction(self, phase: str) -> float:
+        return self.phase_time.get(phase, 0.0) / self.total_time
+
+    def describe(self) -> str:
+        phases = ", ".join(
+            f"{k}={v:.1f}s" for k, v in sorted(self.phase_time.items()) if v > 0
+        )
+        return (
+            f"{self.engine}[{self.label}]: {self.num_requests} reqs in "
+            f"{self.total_time:.1f}s -> {self.throughput_rps:.3f} req/s "
+            f"({self.throughput_tokens_per_s:.0f} out-tok/s; {phases})"
+        )
+
+
+def merge_dp_results(results: list[EngineResult], engine: str, label: str) -> EngineResult:
+    """Combine per-replica results of a data-parallel run.
+
+    Replicas run concurrently on disjoint request partitions, so wall time
+    is the slowest replica and counts add up.
+    """
+    if not results:
+        raise SimulationError("no replica results to merge")
+    total_time = max(r.total_time for r in results)
+    phase: dict[str, float] = {}
+    for r in results:
+        for k, v in r.phase_time.items():
+            phase[k] = max(phase.get(k, 0.0), v)
+    bd = results[0].breakdown
+    for r in results[1:]:
+        bd = bd + r.breakdown
+    return EngineResult(
+        engine=engine,
+        label=label,
+        num_requests=sum(r.num_requests for r in results),
+        total_time=total_time,
+        input_tokens=sum(r.input_tokens for r in results),
+        output_tokens=sum(r.output_tokens for r in results),
+        phase_time=phase,
+        breakdown=bd,
+        iterations=max(r.iterations for r in results),
+        transitions=max(r.transitions for r in results),
+        swapped_in_tokens=sum(r.swapped_in_tokens for r in results),
+        swapped_out_tokens=sum(r.swapped_out_tokens for r in results),
+    )

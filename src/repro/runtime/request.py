@@ -1,0 +1,146 @@
+"""Requests and sequence state.
+
+A :class:`Request` is one offline-inference job: a prompt of known length
+and a number of output tokens (the simulator knows the output length ahead
+of time — the oracle a real engine discovers at EOS — and engines are
+careful to use it only where a real engine would observe the same
+information, e.g. a sequence finishing).
+
+A :class:`Sequence` tracks one request's progress through the engine state
+machine::
+
+    WAITING -> PREFILLING -> (PREFILLED_GPU | PREFILLED_CPU)
+            -> SWAPPING_IN -> RUNNING -> FINISHED
+
+The CPU states only occur under tiered KV buffering (Seesaw); static
+engines go straight from prefill to RUNNING.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+class SequenceState(enum.Enum):
+    WAITING = "waiting"
+    PREFILLING = "prefilling"  # partially prefilled (chunked prefill)
+    PREFILLED_GPU = "prefilled_gpu"  # KV resident on GPU, ready to decode
+    PREFILLED_CPU = "prefilled_cpu"  # KV parked in the CPU buffer
+    SWAPPING_IN = "swapping_in"  # prefetcher transfer in flight
+    RUNNING = "running"  # decoding on GPU
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One offline inference request."""
+
+    request_id: int
+    prompt_len: int
+    output_len: int
+    arrival_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.prompt_len < 1:
+            raise ConfigurationError(f"request {self.request_id}: prompt_len must be >= 1")
+        if self.output_len < 1:
+            raise ConfigurationError(f"request {self.request_id}: output_len must be >= 1")
+        if self.arrival_time < 0:
+            raise ConfigurationError(f"request {self.request_id}: arrival_time must be >= 0")
+
+    @property
+    def total_tokens(self) -> int:
+        """Final context length when generation completes."""
+        return self.prompt_len + self.output_len
+
+
+@dataclass(eq=False)
+class Sequence:
+    """Mutable engine-side view of one request.
+
+    Equality is identity — two sequences are never "the same" just because
+    their counters coincide (schedulers keep sequences in lists and rely on
+    identity membership).
+    """
+
+    request: Request
+    state: SequenceState = SequenceState.WAITING
+    prefilled_tokens: int = 0
+    generated_tokens: int = 0
+    prefill_target: int = field(default=-1)
+    prefill_end_time: float = field(default=float("nan"))
+    finish_time: float = field(default=float("nan"))
+
+    def __post_init__(self) -> None:
+        if self.prefill_target < 0:
+            self.prefill_target = self.request.prompt_len
+
+    @property
+    def seq_id(self) -> int:
+        return self.request.request_id
+
+    @property
+    def prompt_len(self) -> int:
+        return self.request.prompt_len
+
+    @property
+    def context_len(self) -> int:
+        """Tokens currently in this sequence's KV cache.
+
+        Prefill counts the first generated token against the prompt pass,
+        so context is prompt + generated during decode.
+        """
+        if self.state in (SequenceState.WAITING, SequenceState.PREFILLING):
+            return self.prefilled_tokens
+        return self.prompt_len + self.generated_tokens
+
+    @property
+    def final_context_len(self) -> int:
+        """Context length at completion (used for KV reservations)."""
+        return self.request.total_tokens
+
+    @property
+    def remaining_prefill(self) -> int:
+        """Prompt tokens still to prefill. After a recompute preemption the
+        target includes previously generated tokens whose KV must be
+        rebuilt."""
+        return max(0, self.prefill_target - self.prefilled_tokens)
+
+    @property
+    def remaining_decode(self) -> int:
+        """Decode iterations left. Prefill produces the first output token,
+        so a request with ``output_len`` tokens needs ``output_len - 1``
+        decode steps."""
+        return max(0, self.request.output_len - 1 - self.generated_tokens)
+
+    @property
+    def is_prefill_complete(self) -> bool:
+        return self.prefilled_tokens >= self.prefill_target
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state == SequenceState.FINISHED
+
+    def advance_prefill(self, tokens: int) -> None:
+        """Record ``tokens`` of the prompt being prefilled."""
+        if tokens < 0:
+            raise ConfigurationError("prefill advance must be >= 0")
+        self.prefilled_tokens = min(self.prompt_len, self.prefilled_tokens + tokens)
+
+    def advance_decode(self) -> None:
+        """Record one generated token."""
+        self.generated_tokens += 1
+
+    def mark_finished(self, now: float) -> None:
+        self.state = SequenceState.FINISHED
+        self.finish_time = now
+
+    def preempt_recompute(self) -> None:
+        """Drop cached KV for recompute-style preemption: the next prefill
+        must rebuild the prompt plus everything generated so far."""
+        self.prefill_target = self.prompt_len + self.generated_tokens
+        self.prefilled_tokens = 0
+        self.state = SequenceState.WAITING

@@ -1,0 +1,178 @@
+"""Execution traces: per-event records of an engine run.
+
+A :class:`Trace` is an append-only list of :class:`TraceEvent` spans —
+each scheduler iteration, re-shard, and swap gets one — captured on the
+virtual clock. Traces power the Fig. 2-style schedule timelines (which
+phase ran when, how many sequences were resident) and give tests a way to
+assert scheduling behaviour rather than just end-to-end totals.
+
+Tracing is opt-in (``EngineOptions.trace``) because long runs generate many
+events; engines call :meth:`Trace.record` unconditionally on a
+:class:`NullTrace` otherwise, which is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import SimulationError
+
+# Event kinds engines emit.
+PREFILL = "prefill"
+DECODE = "decode"
+MIXED = "mixed"
+RESHARD = "reshard"
+SWAP_IN = "swap_in"
+SWAP_OUT = "swap_out"
+STALL = "stall"
+
+_KINDS = {PREFILL, DECODE, MIXED, RESHARD, SWAP_IN, SWAP_OUT, STALL}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timed span of engine activity.
+
+    Attributes:
+        kind: One of the module-level event kind constants.
+        start: Virtual time the span began.
+        duration: Span length in seconds.
+        num_seqs: Sequences involved (batch size for compute events,
+            transferred sequences for swaps; 0 where meaningless).
+        tokens: Tokens processed/moved by the event.
+        resident_seqs: Sequences resident in GPU KV when the event started
+            (the light-green area of Fig. 2).
+    """
+
+    kind: str
+    start: float
+    duration: float
+    num_seqs: int = 0
+    tokens: int = 0
+    resident_seqs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise SimulationError(f"unknown trace event kind {self.kind!r}")
+        if self.start < 0 or self.duration < 0:
+            raise SimulationError("trace spans must have non-negative time")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class Trace:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def record(
+        self,
+        kind: str,
+        start: float,
+        duration: float,
+        *,
+        num_seqs: int = 0,
+        tokens: int = 0,
+        resident_seqs: int = 0,
+    ) -> None:
+        self._events.append(
+            TraceEvent(
+                kind=kind,
+                start=start,
+                duration=duration,
+                num_seqs=num_seqs,
+                tokens=tokens,
+                resident_seqs=resident_seqs,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def total_time(self, kind: str) -> float:
+        return sum(e.duration for e in self._events if e.kind == kind)
+
+    @property
+    def span(self) -> float:
+        """Wall-clock extent of the trace (0 for an empty trace)."""
+        if not self._events:
+            return 0.0
+        return max(e.end for e in self._events)
+
+    def phase_segments(self) -> list[tuple[str, float, float]]:
+        """Coalesce consecutive same-kind compute events into segments.
+
+        Returns (kind, start, end) tuples for prefill/mixed/decode/reshard
+        events — the alternation structure Fig. 2 draws.
+        """
+        compute = [
+            e
+            for e in sorted(self._events, key=lambda e: e.start)
+            if e.kind in (PREFILL, DECODE, MIXED, RESHARD)
+        ]
+        segments: list[tuple[str, float, float]] = []
+        for e in compute:
+            if segments and segments[-1][0] == e.kind and e.start <= segments[-1][2] + 1e-9:
+                kind, start, _ = segments[-1]
+                segments[-1] = (kind, start, max(segments[-1][2], e.end))
+            else:
+                segments.append((e.kind, e.start, e.end))
+        return segments
+
+
+class NullTrace(Trace):
+    """Free no-op trace used when tracing is disabled."""
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def record(self, *args: object, **kwargs: object) -> None:  # noqa: D102
+        return None
+
+
+def render_timeline(trace: Trace, width: int = 72) -> str:
+    """ASCII timeline of phase segments (a measured Fig. 2).
+
+    One row per phase kind; ``#`` marks the intervals where that phase was
+    active. The header shows the time extent.
+    """
+    segments = trace.phase_segments()
+    if not segments:
+        return "(empty trace)"
+    span = trace.span
+    kinds = []
+    for kind in (PREFILL, MIXED, DECODE, RESHARD):
+        if any(s[0] == kind for s in segments):
+            kinds.append(kind)
+    label_w = max(len(k) for k in kinds)
+    lines = [f"timeline over {span:.1f}s ({width} cols)"]
+    for kind in kinds:
+        row = [" "] * width
+        for seg_kind, start, end in segments:
+            if seg_kind != kind:
+                continue
+            lo = int(start / span * (width - 1))
+            hi = max(lo, int(end / span * (width - 1)))
+            for i in range(lo, hi + 1):
+                row[i] = "#"
+        lines.append(f"{kind.ljust(label_w)} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Shared utilities: units, RNG, statistics, ASCII rendering."""
+
+from repro.utils.units import (
+    KIB,
+    MIB,
+    GIB,
+    TIB,
+    KB,
+    MB,
+    GB,
+    TB,
+    US,
+    MS,
+    SEC,
+    fmt_bytes,
+    fmt_time,
+    fmt_rate,
+)
+from repro.utils.rng import make_rng, spawn_rng
+from repro.utils.stats import (
+    geomean,
+    mean,
+    percentile,
+    summarize,
+    Summary,
+)
+from repro.utils.tables import ascii_table, ascii_bar_chart, ascii_series
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "US",
+    "MS",
+    "SEC",
+    "fmt_bytes",
+    "fmt_time",
+    "fmt_rate",
+    "make_rng",
+    "spawn_rng",
+    "geomean",
+    "mean",
+    "percentile",
+    "summarize",
+    "Summary",
+    "ascii_table",
+    "ascii_bar_chart",
+    "ascii_series",
+]

@@ -1,0 +1,84 @@
+"""ASCII rendering for tables, bar charts and series.
+
+The benchmark harness reproduces the paper's tables and figures as plain
+text: tables render with aligned columns, bar charts render one bar per row
+(used for the normalized-throughput figures), and series render multiple
+curves as aligned columns (used for sweep figures such as Fig. 13/14).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a simple aligned table with a header separator."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    ncols = max(len(r) for r in cells)
+    widths = [0] * ncols
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(row: Sequence[str]) -> str:
+        padded = [row[i].ljust(widths[i]) if i < len(row) else " " * widths[i] for i in range(ncols)]
+        return "| " + " | ".join(padded) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(cells[0]))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(fmt_row(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart, one labelled bar per entry."""
+    if not values:
+        raise ValueError("bar chart needs at least one value")
+    vmax = max(values.values())
+    if vmax <= 0:
+        vmax = 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, val in values.items():
+        nbar = int(round(width * val / vmax))
+        bar = "#" * nbar
+        lines.append(f"{key.ljust(label_w)} | {bar} {val:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x_label: str,
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render several curves sampled at common x points as a table.
+
+    This is how sweep figures (throughput vs. ratio / bandwidth) are emitted;
+    the reader can diff crossover points directly against the paper's plot.
+    """
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length {len(ys)} != {len(xs)} x points")
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([fmt.format(x)] + [fmt.format(series[name][i]) for name in series])
+    return ascii_table(headers, rows, title=title)

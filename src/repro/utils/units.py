@@ -1,0 +1,62 @@
+"""Unit constants and human-readable formatting.
+
+The simulator works in SI base units throughout: **bytes** for memory and
+traffic, **seconds** for time, **FLOP/s** for compute. These constants make
+call sites explicit (``16 * GIB`` rather than a bare magic number) and the
+formatters produce stable strings used in reports and golden tests.
+"""
+
+from __future__ import annotations
+
+# Binary (power-of-two) byte units — used for memory capacities.
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+# Decimal byte units — used for link bandwidths quoted in vendor datasheets.
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+TB = 1000 * GB
+
+# Time units, in seconds.
+US = 1e-6
+MS = 1e-3
+SEC = 1.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary-unit suffix, e.g. ``'24.0 GiB'``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for unit, name in ((TIB, "TiB"), (GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")):
+        if n >= unit:
+            return f"{sign}{n / unit:.2f} {name}"
+    return f"{sign}{n:.0f} B"
+
+
+def fmt_time(t: float) -> str:
+    """Format a duration in seconds with an adaptive unit, e.g. ``'3.2 ms'``."""
+    t = float(t)
+    sign = "-" if t < 0 else ""
+    t = abs(t)
+    if t >= 60.0:
+        return f"{sign}{t / 60.0:.2f} min"
+    if t >= 1.0:
+        return f"{sign}{t:.2f} s"
+    if t >= MS:
+        return f"{sign}{t / MS:.2f} ms"
+    if t >= US:
+        return f"{sign}{t / US:.1f} us"
+    return f"{sign}{t * 1e9:.0f} ns"
+
+
+def fmt_rate(r: float, unit: str = "req/s") -> str:
+    """Format a rate such as requests or tokens per second."""
+    if r >= 1e6:
+        return f"{r / 1e6:.2f} M{unit}"
+    if r >= 1e3:
+        return f"{r / 1e3:.2f} k{unit}"
+    return f"{r:.3f} {unit}"

@@ -1,0 +1,32 @@
+"""Workload generation: dataset-shaped samplers and synthetic sweeps.
+
+The paper evaluates on two datasets with opposite shapes (Fig. 9):
+``sharegpt`` (chat — inputs and outputs of comparable length) and
+``arxiv-summarization`` (long inputs, short outputs), plus constant-length
+synthetic workloads for the sensitivity studies (Fig. 13). Without network
+access we sample from distributions fitted to the published histograms; the
+engines only consume (prompt_len, output_len) pairs, so distribution shape
+is the operative property.
+"""
+
+from repro.workloads.spec import WorkloadSpec, workload_stats, WorkloadStats
+from repro.workloads.synthetic import constant_workload, uniform_workload, ratio_workload
+from repro.workloads.datasets import (
+    sharegpt_workload,
+    arxiv_workload,
+    DATASET_SAMPLERS,
+    sample_dataset,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadStats",
+    "workload_stats",
+    "constant_workload",
+    "uniform_workload",
+    "ratio_workload",
+    "sharegpt_workload",
+    "arxiv_workload",
+    "DATASET_SAMPLERS",
+    "sample_dataset",
+]

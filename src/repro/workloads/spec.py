@@ -1,0 +1,81 @@
+"""Workload containers and summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.runtime.request import Request
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named batch of offline inference requests."""
+
+    name: str
+    requests: tuple[Request, ...]
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ConfigurationError(f"workload {self.name!r} has no requests")
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def total_input_tokens(self) -> int:
+        return sum(r.prompt_len for r in self.requests)
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(r.output_len for r in self.requests)
+
+    @property
+    def decode_prefill_ratio(self) -> float:
+        """The paper's D:P ratio — output tokens per input token."""
+        return self.total_output_tokens / self.total_input_tokens
+
+    def subset(self, n: int) -> "WorkloadSpec":
+        """First ``n`` requests (for scaled-down benchmark runs)."""
+        if n < 1:
+            raise ConfigurationError("subset size must be >= 1")
+        return WorkloadSpec(name=f"{self.name}[:{n}]", requests=self.requests[:n])
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Length-distribution summary, matching what Fig. 9 plots."""
+
+    name: str
+    num_requests: int
+    input_mean: float
+    input_p50: float
+    input_p90: float
+    input_max: int
+    output_mean: float
+    output_p50: float
+    output_p90: float
+    output_max: int
+    decode_prefill_ratio: float
+
+
+def workload_stats(workload: WorkloadSpec) -> WorkloadStats:
+    """Compute the Fig. 9-style length statistics of a workload."""
+    ins = np.array([r.prompt_len for r in workload.requests], dtype=float)
+    outs = np.array([r.output_len for r in workload.requests], dtype=float)
+    return WorkloadStats(
+        name=workload.name,
+        num_requests=workload.num_requests,
+        input_mean=float(ins.mean()),
+        input_p50=float(np.percentile(ins, 50)),
+        input_p90=float(np.percentile(ins, 90)),
+        input_max=int(ins.max()),
+        output_mean=float(outs.mean()),
+        output_p50=float(np.percentile(outs, 50)),
+        output_p90=float(np.percentile(outs, 90)),
+        output_max=int(outs.max()),
+        decode_prefill_ratio=workload.decode_prefill_ratio,
+    )

@@ -1,0 +1,109 @@
+"""Synthetic workloads for controlled sweeps.
+
+``ratio_workload`` reproduces the Fig. 13 setup: uniform input length
+(3000 in the paper) with the output length chosen to hit a target D:P
+ratio; ``constant_workload`` and ``uniform_workload`` are general-purpose
+building blocks used throughout the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.runtime.request import Request
+from repro.utils.rng import make_rng
+from repro.workloads.spec import WorkloadSpec
+
+
+def constant_workload(
+    num_requests: int,
+    prompt_len: int,
+    output_len: int,
+    name: str | None = None,
+) -> WorkloadSpec:
+    """All requests identical — the paper's 'constant-length' workloads."""
+    if num_requests < 1:
+        raise ConfigurationError("num_requests must be >= 1")
+    reqs = tuple(
+        Request(request_id=i, prompt_len=prompt_len, output_len=output_len)
+        for i in range(num_requests)
+    )
+    return WorkloadSpec(
+        name=name or f"const(p={prompt_len},d={output_len})", requests=reqs
+    )
+
+
+def uniform_workload(
+    num_requests: int,
+    prompt_range: tuple[int, int],
+    output_range: tuple[int, int],
+    seed: int | None = None,
+    name: str | None = None,
+) -> WorkloadSpec:
+    """Independent uniform prompt/output lengths."""
+    if num_requests < 1:
+        raise ConfigurationError("num_requests must be >= 1")
+    lo_p, hi_p = prompt_range
+    lo_o, hi_o = output_range
+    if lo_p < 1 or lo_p > hi_p or lo_o < 1 or lo_o > hi_o:
+        raise ConfigurationError("invalid length ranges")
+    rng = make_rng(seed)
+    prompts = rng.integers(lo_p, hi_p + 1, size=num_requests)
+    outputs = rng.integers(lo_o, hi_o + 1, size=num_requests)
+    reqs = tuple(
+        Request(request_id=i, prompt_len=int(p), output_len=int(o))
+        for i, (p, o) in enumerate(zip(prompts, outputs))
+    )
+    return WorkloadSpec(name=name or "uniform", requests=reqs)
+
+
+def ratio_workload(
+    num_requests: int,
+    dp_ratio: float,
+    prompt_len: int = 3000,
+    name: str | None = None,
+) -> WorkloadSpec:
+    """Fixed prompt length, output length = ratio * prompt (Fig. 13).
+
+    The paper fixes input at 3000 tokens and sweeps the output length; a
+    ratio of 0 degenerates to prefill-only (output_len 1, the first token
+    produced by the prefill pass).
+    """
+    if dp_ratio < 0:
+        raise ConfigurationError("dp_ratio must be >= 0")
+    output_len = max(1, int(round(dp_ratio * prompt_len)))
+    return constant_workload(
+        num_requests,
+        prompt_len,
+        output_len,
+        name=name or f"ratio(D:P={dp_ratio:g})",
+    )
+
+
+def poisson_arrival_workload(
+    base: WorkloadSpec,
+    rate_rps: float,
+    seed: int | None = None,
+) -> WorkloadSpec:
+    """Attach Poisson arrival times to an existing workload.
+
+    Offline throughput runs assume all requests available at t=0; this
+    helper exists for the (non-headline) experiments that study behaviour
+    under an arrival process.
+    """
+    if rate_rps <= 0:
+        raise ConfigurationError("arrival rate must be positive")
+    rng = make_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=len(base.requests))
+    arrivals = np.cumsum(gaps)
+    reqs = tuple(
+        Request(
+            request_id=r.request_id,
+            prompt_len=r.prompt_len,
+            output_len=r.output_len,
+            arrival_time=float(t),
+        )
+        for r, t in zip(base.requests, arrivals)
+    )
+    return WorkloadSpec(name=f"{base.name}+poisson({rate_rps:g}rps)", requests=reqs)

@@ -1,0 +1,67 @@
+"""Analysis helpers: comparisons, normalization, breakdown tables."""
+
+import pytest
+
+from repro.analysis.breakdown import attributed_fractions, phase_breakdown_table
+from repro.analysis.report import (
+    best_result,
+    comparison_table,
+    normalized_throughputs,
+    speedup,
+)
+from repro.costmodel.breakdown import Breakdown
+from repro.errors import ConfigurationError
+from repro.runtime.metrics import EngineResult
+
+
+def make_result(rps: float, label: str = "T4") -> EngineResult:
+    n = 100
+    return EngineResult(
+        engine="x",
+        label=label,
+        num_requests=n,
+        total_time=n / rps,
+        input_tokens=n * 100,
+        output_tokens=n * 10,
+        phase_time={"prefill": 1.0, "decode": 2.0},
+        breakdown=Breakdown(linear_dm=1.0, comm=0.5),
+        iterations=5,
+        transitions=0,
+    )
+
+
+class TestReport:
+    def test_speedup(self):
+        assert speedup(make_result(2.0), make_result(1.0)) == pytest.approx(2.0)
+
+    def test_best_result(self):
+        results = [make_result(1.0), make_result(3.0), make_result(2.0)]
+        assert best_result(results).throughput_rps == pytest.approx(3.0)
+        with pytest.raises(ConfigurationError):
+            best_result([])
+
+    def test_normalized(self):
+        norm = normalized_throughputs(
+            {"a": make_result(1.0), "b": make_result(2.0)}, "a"
+        )
+        assert norm["b"] == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            normalized_throughputs({"a": make_result(1.0)}, "zz")
+
+    def test_comparison_table(self):
+        out = comparison_table({"a": make_result(1.0), "b": make_result(2.0)}, "a")
+        assert "req/s" in out and "a" in out and "b" in out
+
+
+class TestBreakdown:
+    def test_phase_table(self):
+        out = phase_breakdown_table({"run": make_result(1.0)})
+        assert "prefill" in out and "decode" in out
+
+    def test_attributed_fractions_sum_to_one(self):
+        frac = attributed_fractions(Breakdown(linear_dm=3, attn_comp=1, comm=1))
+        assert sum(frac.values()) == pytest.approx(1.0)
+
+    def test_attributed_fractions_empty(self):
+        frac = attributed_fractions(Breakdown())
+        assert all(v == 0.0 for v in frac.values())

@@ -1,0 +1,134 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.model == "34b"
+        assert args.config == "T4P2"
+
+
+class TestCommands:
+    def test_run_static(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--model",
+                "34b",
+                "--dataset",
+                "const:256x16",
+                "--num-requests",
+                "8",
+                "--config",
+                "T4P2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out and "T4P2" in out
+
+    def test_run_seesaw_with_timeline(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--model",
+                "34b",
+                "--dataset",
+                "const:512x32",
+                "--num-requests",
+                "8",
+                "--config",
+                "P8->T4P2",
+                "--timeline",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "timeline" in out
+        assert "reshard" in out
+
+    def test_run_chunked(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--dataset",
+                "const:512x16",
+                "--num-requests",
+                "6",
+                "--config",
+                "T2P2D2",
+                "--chunked",
+            ]
+        )
+        assert rc == 0
+        assert "+chunked" in capsys.readouterr().out
+
+    def test_predict(self, capsys):
+        rc = main(["predict", "--model", "70b", "--config", "P8->T4P2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "prefill rate" in out and "req rate" in out
+
+    def test_predict_static_config(self, capsys):
+        rc = main(["predict", "--model", "34b", "--config", "T4P2"])
+        assert rc == 0
+        assert "T4P2 -> T4P2" in capsys.readouterr().out
+
+    def test_reproduce_table1(self, capsys):
+        rc = main(["reproduce", "table1"])
+        assert rc == 0
+        assert "GPU Model" in capsys.readouterr().out
+
+    def test_reproduce_fig15(self, capsys):
+        rc = main(["reproduce", "fig15"])
+        assert rc == 0
+        assert "Figure 15" in capsys.readouterr().out
+
+    def test_reproduce_unknown(self, capsys):
+        rc = main(["reproduce", "fig99"])
+        assert rc == 2
+
+    def test_error_maps_to_exit_code(self, capsys):
+        # 70B cannot fit a 4-GPU A10 cluster: ReproError -> exit 1.
+        rc = main(
+            [
+                "run",
+                "--model",
+                "70b",
+                "--num-gpus",
+                "4",
+                "--dataset",
+                "const:64x4",
+                "--num-requests",
+                "2",
+                "--config",
+                "T4",
+            ]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare_small(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--model",
+                "15b",
+                "--num-gpus",
+                "4",
+                "--dataset",
+                "const:512x64",
+                "--num-requests",
+                "12",
+            ]
+        )
+        assert rc == 0
+        assert "speedup:" in capsys.readouterr().out

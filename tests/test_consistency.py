@@ -1,0 +1,86 @@
+"""Consistency between the analytic predictor and the simulated engines.
+
+The autotuner trusts the predictor to rank configurations; these tests pin
+the predictor to the simulator within loose factors (it is a steady-state
+model and ignores scheduling effects, so exact agreement is not expected —
+but an order-of-magnitude drift would silently break the search).
+"""
+
+import pytest
+
+from repro.autotuner.predictor import predict_request_rate
+from repro.engines.vllm_like import VllmLikeEngine
+from repro.experiments.fig4_disagg import feasible_disaggregation_splits
+from repro.hardware.cluster import make_cluster
+from repro.models.registry import get_model
+from repro.parallel.config import parse_config
+from repro.workloads.synthetic import constant_workload
+
+
+class TestPredictorVsSimulation:
+    @pytest.mark.parametrize("label", ["T4P2", "P8", "T8", "D2T4"])
+    def test_predicted_rate_within_2x_of_simulated(self, label):
+        model = get_model("34b")
+        cluster = make_cluster("A10", 8)
+        wl = constant_workload(96, 1500, 150)
+        cfg = parse_config(label)
+        predicted = predict_request_rate(
+            model,
+            cluster,
+            cfg,
+            cfg,
+            1500,
+            150,
+            concurrency=wl.num_requests,
+        ).request_rate
+        simulated = VllmLikeEngine(model, cluster, cfg).run(wl).throughput_rps
+        assert predicted / simulated < 2.5
+        assert simulated / predicted < 2.5
+
+    def test_predictor_preserves_simulated_ordering_extremes(self):
+        """The predictor must agree with the simulator about the clearly
+        separated cases (best vs worst static config for a prefill-heavy
+        workload)."""
+        model = get_model("34b")
+        cluster = make_cluster("A10", 8)
+        wl = constant_workload(64, 3000, 100)
+
+        def both(label):
+            cfg = parse_config(label)
+            p = predict_request_rate(
+                model, cluster, cfg, cfg, 3000, 100, concurrency=64
+            ).request_rate
+            s = VllmLikeEngine(model, cluster, cfg).run(wl).throughput_rps
+            return p, s
+
+        p_pp, s_pp = both("P8")
+        p_t8, s_t8 = both("T8")
+        assert (p_pp > p_t8) == (s_pp > s_t8)
+
+
+class TestDisaggregationSplits:
+    def test_70b_on_40gib_has_only_4_4(self):
+        model = get_model("70b")
+        cluster = make_cluster("A100-PCIE", 8)
+        sizes = {
+            (p.prefill_gpus, p.decode_gpus)
+            for p in feasible_disaggregation_splits(model, cluster)
+        }
+        assert sizes == {(4, 4)}
+
+    def test_config_variety_within_the_single_split(self):
+        """The split is pinned to 4+4 (pool sizes), but within it several
+        per-pool parallelizations are feasible — the paper's Fig. 4 point
+        is about GPU counts, not within-pool layouts."""
+        cluster = make_cluster("A100-PCIE", 8)
+        plans = feasible_disaggregation_splits(get_model("70b"), cluster)
+        labels = {p.label() for p in plans}
+        assert "P4|T4" in labels
+        assert len(labels) >= 4
+        assert all(p.prefill_gpus == p.decode_gpus == 4 for p in plans)
+
+    def test_smaller_cluster_admits_no_split_for_70b(self):
+        """On 4x40GiB there is no way to disaggregate a 70B at all (each
+        pool must hold a full replica)."""
+        cluster = make_cluster("A100-PCIE", 4)
+        assert feasible_disaggregation_splits(get_model("70b"), cluster) == []

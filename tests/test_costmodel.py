@@ -1,0 +1,181 @@
+"""Roofline cost model: breakdowns, layer time, pipeline, transfer, step."""
+
+import pytest
+
+from repro.costmodel.breakdown import Breakdown
+from repro.costmodel.pipeline import (
+    pipeline_time,
+    pipeline_time_heterogeneous,
+    steady_state_period,
+)
+from repro.costmodel.roofline import layer_time
+from repro.costmodel.step import StepCostModel
+from repro.costmodel.transfer import KVLayout, TransferModel
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import make_cluster
+from repro.parallel.config import ParallelConfig, parse_config
+
+
+class TestBreakdown:
+    def test_total_roofline(self):
+        b = Breakdown(linear_dm=2, linear_comp=1, attn_dm=1, attn_comp=3, comm=0.5, overhead=0.1)
+        assert b.total == pytest.approx(2 + 3 + 0.5 + 0.1)
+
+    def test_add_and_scale(self):
+        b = Breakdown(linear_dm=1, comm=2)
+        s = (b + b).scale(0.5)
+        assert s.linear_dm == pytest.approx(1)
+        assert s.comm == pytest.approx(2)
+
+    def test_attribution_bandwidth_bound(self):
+        b = Breakdown(linear_dm=5, linear_comp=1, comm=2)
+        att = b.attributed()
+        assert att["weight_transfer"] == pytest.approx(5)
+        assert att["communication"] == pytest.approx(2)
+
+    def test_attribution_compute_bound(self):
+        b = Breakdown(linear_dm=1, linear_comp=5)
+        att = b.attributed()
+        assert att["weight_transfer"] == 0.0
+        assert att["compute"] == pytest.approx(5)
+
+    def test_as_dict_has_total(self):
+        assert "total" in Breakdown().as_dict()
+
+
+class TestLayerTime:
+    @pytest.fixture
+    def setup(self, model_34b, cluster_a10_8):
+        return model_34b, cluster_a10_8.gpu, cluster_a10_8.fabric
+
+    def test_zero_tokens_free(self, setup):
+        m, g, f = setup
+        b = layer_time(m, g, f, 1, new_tokens=0, context_tokens=0, sum_sq_seq_len=0, phase="decode")
+        assert b.total == 0.0
+
+    def test_unknown_phase(self, setup):
+        m, g, f = setup
+        with pytest.raises(ConfigurationError):
+            layer_time(m, g, f, 1, new_tokens=1, context_tokens=0, sum_sq_seq_len=0, phase="train")
+
+    def test_tp_shards_weights(self, setup):
+        m, g, f = setup
+        b1 = layer_time(m, g, f, 1, new_tokens=8, context_tokens=8000, sum_sq_seq_len=0, phase="decode")
+        b4 = layer_time(m, g, f, 4, new_tokens=8, context_tokens=8000, sum_sq_seq_len=0, phase="decode")
+        assert b4.linear_dm == pytest.approx(b1.linear_dm / 4)
+
+    def test_tp1_has_no_comm(self, setup):
+        m, g, f = setup
+        b = layer_time(m, g, f, 1, new_tokens=100, context_tokens=0, sum_sq_seq_len=100 * 100, phase="prefill")
+        assert b.comm == 0.0
+
+    def test_comm_grows_with_tp(self, setup):
+        m, g, f = setup
+        kw = dict(new_tokens=4096, context_tokens=0, sum_sq_seq_len=4096.0**2, phase="prefill")
+        b2 = layer_time(m, g, f, 2, **kw)
+        b8 = layer_time(m, g, f, 8, **kw)
+        assert b8.comm > b2.comm
+
+    def test_decode_is_bandwidth_bound_small_batch(self, setup):
+        m, g, f = setup
+        b = layer_time(m, g, f, 1, new_tokens=4, context_tokens=4000, sum_sq_seq_len=0, phase="decode")
+        assert b.linear_dm > b.linear_comp
+
+    def test_prefill_is_compute_bound(self, setup):
+        m, g, f = setup
+        b = layer_time(m, g, f, 1, new_tokens=8192, context_tokens=0, sum_sq_seq_len=8192.0**2, phase="prefill")
+        assert b.linear_comp > b.linear_dm
+
+
+class TestPipeline:
+    def test_formula(self):
+        assert pipeline_time(1.0, 4, 4) == pytest.approx(7.0)
+
+    def test_zero_microbatches(self):
+        assert pipeline_time(1.0, 4, 0) == 0.0
+
+    def test_heterogeneous_matches_uniform(self):
+        assert pipeline_time_heterogeneous([1.0] * 4, 4) == pytest.approx(
+            pipeline_time(1.0, 4, 4)
+        )
+
+    def test_steady_state_period(self):
+        assert steady_state_period(0.5, 4) == pytest.approx(2.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            pipeline_time(1.0, 0, 1)
+
+
+class TestTransferModel:
+    def test_hnd_faster_than_nhd(self, cluster_a10_8):
+        hnd = TransferModel(cluster=cluster_a10_8, layout=KVLayout.HND)
+        nhd = TransferModel(cluster=cluster_a10_8, layout=KVLayout.NHD)
+        assert hnd.kv_swap_time(1e9) < nhd.kv_swap_time(1e9)
+
+    def test_unpinned_slower(self, cluster_a10_8):
+        pinned = TransferModel(cluster=cluster_a10_8, pinned=True)
+        unpinned = TransferModel(cluster=cluster_a10_8, pinned=False)
+        assert pinned.kv_swap_time(1e9) < unpinned.kv_swap_time(1e9)
+        assert pinned.overlappable and not unpinned.overlappable
+
+    def test_negative_rejected(self, cluster_a10_8):
+        with pytest.raises(ConfigurationError):
+            TransferModel(cluster=cluster_a10_8).kv_swap_time(-1)
+
+
+class TestStepCostModel:
+    def test_config_must_fit_cluster(self, model_34b, cluster_a10_4):
+        with pytest.raises(ConfigurationError):
+            StepCostModel(model_34b, cluster_a10_4, parse_config("T4P2"))
+
+    def test_decode_iteration_pp_amplifies_weight_traffic(
+        self, model_34b, cluster_a10_8
+    ):
+        """Observation 2: per decode iteration, PP does not reduce per-GPU
+        weight traffic while TP divides it."""
+        t8 = StepCostModel(model_34b, cluster_a10_8, parse_config("T8"))
+        p8 = StepCostModel(model_34b, cluster_a10_8, parse_config("P8"))
+        it_t8 = t8.decode_iteration_time(64, 64 * 1024)
+        it_p8 = p8.decode_iteration_time(64, 64 * 1024)
+        assert it_p8.linear_dm > 4 * it_t8.linear_dm
+
+    def test_prefill_pp_beats_tp(self, model_34b, cluster_a10_8):
+        """Observation 1: for prefill, PP streaming beats TP all-reduce."""
+        t8 = StepCostModel(model_34b, cluster_a10_8, parse_config("T8"))
+        p8 = StepCostModel(model_34b, cluster_a10_8, parse_config("P8"))
+        # Per-token cost: one TP8 pass vs PP8 steady-state stage time.
+        tp_time = t8.prefill_pass_time([8192]).total
+        pp_stage = p8.prefill_stage_time([8192]).total
+        assert pp_stage < tp_time
+
+    def test_decode_empty_batch_free(self, model_34b, cluster_a10_8):
+        m = StepCostModel(model_34b, cluster_a10_8, parse_config("T4P2"))
+        assert m.decode_iteration_time(0, 0).total == 0.0
+
+    def test_mixed_reduces_to_decode(self, model_34b, cluster_a10_8):
+        m = StepCostModel(model_34b, cluster_a10_8, parse_config("T4P2"))
+        mixed = m.mixed_iteration_time(0, 0, 32, 32 * 1000)
+        decode = m.decode_iteration_time(32, 32 * 1000)
+        assert mixed.total == pytest.approx(decode.total, rel=0.05)
+
+    def test_mixed_piggyback_cheaper_than_separate(self, model_34b, cluster_a10_8):
+        """One mixed pass must cost less than a prefill pass plus a decode
+        iteration (that's the point of piggybacking)."""
+        m = StepCostModel(model_34b, cluster_a10_8, parse_config("T2P2"))
+        mixed = m.mixed_iteration_time(1024, 0, 64, 64 * 1500).total
+        separate = (
+            m.prefill_pass_time([1024]).total
+            + m.decode_iteration_time(64, 64 * 1500).total
+        )
+        assert mixed < separate
+
+    def test_kv_swap_time_scales(self, model_70b, cluster_a10_8):
+        m = StepCostModel(model_70b, cluster_a10_8, parse_config("T4P2"))
+        assert m.kv_swap_time(2000) == pytest.approx(2 * m.kv_swap_time(1000))
+        assert m.kv_swap_time(0) == 0.0
+
+    def test_reshard_time_zero_for_same(self, model_34b, cluster_a10_8):
+        m = StepCostModel(model_34b, cluster_a10_8, parse_config("T4P2"))
+        assert m.reshard_time(parse_config("T4P2")) == 0.0
+        assert m.reshard_time(parse_config("P8")) > 0.0

@@ -1,0 +1,112 @@
+"""Experiment harnesses run end-to-end and render (small scales)."""
+
+import pytest
+
+from repro.experiments import (
+    render_fig1,
+    render_fig2,
+    render_fig4,
+    render_fig9,
+    render_fig12,
+    render_fig13,
+    render_fig15,
+    render_table1,
+    run_fig1,
+    run_fig2,
+    run_fig4,
+    run_fig9,
+    run_fig12,
+    run_fig13,
+    run_fig15,
+    run_table1,
+)
+from repro.experiments.fig10_e2e import run_fig10_cell
+from repro.experiments.fig13_dp_ratio import Fig13Result
+from repro.experiments.fig14_bandwidth import run_fig14, render_fig14
+
+
+class TestTable1:
+    def test_rows(self):
+        rows = run_table1()
+        names = {r.gpu for r in rows}
+        assert {"A10", "L4"} <= names
+
+    def test_render(self):
+        out = render_table1()
+        assert "600 GB/s" in out and "NVLink" in out
+
+
+class TestFig1:
+    def test_runs_and_normalizes(self):
+        r = run_fig1()
+        assert len(r.rows) == 4
+        norm = r.normalized("prefill")
+        assert max(norm.values()) == pytest.approx(1.0)
+
+    def test_render(self):
+        assert "Figure 1" in render_fig1(run_fig1())
+
+
+class TestFig2:
+    def test_policies_present(self):
+        r = run_fig2(num_requests=120)
+        assert set(r.policies) == {
+            "prefill-prioritizing",
+            "decode-prioritizing",
+            "tiered+transition-minimizing",
+        }
+        assert "Figure 2" in render_fig2(r)
+
+
+class TestFig4:
+    def test_shapes(self):
+        r = run_fig4(num_requests=120)
+        assert r.feasible_splits == ["4+4"]
+        assert r.mismatch_ratio > 1.0
+        assert "Figure 4" in render_fig4(r)
+
+
+class TestFig9:
+    def test_stats_and_render(self):
+        r = run_fig9(num_sharegpt=200, num_arxiv=100)
+        assert set(r.stats) == {"arxiv-summarization", "sharegpt"}
+        assert "Figure 9" in render_fig9(r)
+
+
+class TestFig10:
+    def test_single_cell(self):
+        c = run_fig10_cell("A10", "15b", "arxiv", num_requests=24, simulate_top=0)
+        assert c.vllm.num_requests == 24
+        assert c.seesaw.num_requests == 24
+        assert c.speedup > 0
+
+
+class TestFig12:
+    def test_runs(self):
+        r = run_fig12(num_requests=40)
+        assert set(r.runs) == {"tp4", "pp4", "p4->t4", "tp2pp2+chunked"}
+        assert "Figure 12" in render_fig12(r)
+
+
+class TestFig13:
+    def test_runs(self):
+        r = run_fig13(ratios=(0.01, 0.1), num_requests=16)
+        assert isinstance(r, Fig13Result)
+        norm = r.normalized()
+        assert max(max(v) for v in norm.values()) == pytest.approx(1.0)
+        assert "Figure 13" in render_fig13(r)
+
+
+class TestFig14:
+    def test_runs(self):
+        r = run_fig14(scales=(0.5, 5.0), num_requests=16)
+        assert len(r.throughput["d2p4->d2t4"]) == 2
+        assert "Figure 14" in render_fig14(r)
+
+
+class TestFig15:
+    def test_oom_and_batch_shape(self):
+        r = run_fig15()
+        assert not r.row("TP1DP8").fits
+        assert r.row("TP8DP1").max_batch > r.row("TP4DP2").max_batch
+        assert "Figure 15" in render_fig15(r)

@@ -1,0 +1,141 @@
+"""GPU specs, interconnect models, cluster construction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import ClusterSpec, make_cluster
+from repro.hardware.gpu import GPU_REGISTRY, GPUSpec, get_gpu, register_gpu
+from repro.hardware.interconnect import (
+    NVLINK_A100,
+    PCIE_4_X8,
+    allreduce_bandwidth,
+    allreduce_time,
+    p2p_time,
+)
+from repro.utils.units import GB, GIB, MIB
+
+
+class TestGPURegistry:
+    def test_table1_entries_present(self):
+        for name in ("A10", "L4", "A100-SXM", "A100-PCIE"):
+            assert name in GPU_REGISTRY
+
+    def test_table1_values(self):
+        a10 = get_gpu("A10")
+        assert a10.memory_bytes == 24 * GIB
+        assert a10.hbm_bandwidth == 600 * GB
+        assert a10.flops == pytest.approx(125e12)
+        assert not a10.has_nvlink
+        a100 = get_gpu("a100-sxm")  # case-insensitive
+        assert a100.has_nvlink
+
+    def test_unknown_gpu_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_gpu("H100")
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_gpu(get_gpu("A10"))
+
+    def test_effective_rates_below_peak(self):
+        g = get_gpu("L4")
+        assert g.effective_flops < g.flops
+        assert g.effective_bandwidth < g.hbm_bandwidth
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GPUSpec(name="bad", memory_bytes=0, hbm_bandwidth=1, flops=1, has_nvlink=False)
+        with pytest.raises(ConfigurationError):
+            GPUSpec(
+                name="bad2",
+                memory_bytes=1,
+                hbm_bandwidth=1,
+                flops=1,
+                has_nvlink=False,
+                compute_efficiency=1.5,
+            )
+
+    def test_with_overrides(self):
+        g = get_gpu("A10").with_overrides(flops=200e12)
+        assert g.flops == pytest.approx(200e12)
+        assert g.memory_bytes == 24 * GIB
+
+
+class TestAllreduce:
+    def test_zero_size_is_free(self):
+        assert allreduce_time(PCIE_4_X8, 0, 8) == 0.0
+
+    def test_single_participant_is_free(self):
+        assert allreduce_time(PCIE_4_X8, 1 * MIB, 1) == 0.0
+
+    def test_monotone_in_size(self):
+        t1 = allreduce_time(PCIE_4_X8, 1 * MIB, 4)
+        t2 = allreduce_time(PCIE_4_X8, 2 * MIB, 4)
+        assert t2 > t1
+
+    def test_bandwidth_decreases_with_participants(self):
+        """The paper's Observation 1: all-reduce bandwidth (size/time) is
+        monotonically decreasing in the number of GPUs."""
+        size = 64 * MIB
+        bws = [allreduce_bandwidth(PCIE_4_X8, size, n) for n in (2, 4, 8)]
+        assert bws[0] > bws[1] > bws[2]
+
+    def test_nvlink_much_faster_than_pcie(self):
+        size = 64 * MIB
+        assert allreduce_time(NVLINK_A100, size, 8) < allreduce_time(
+            PCIE_4_X8, size, 8
+        ) / 10
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            allreduce_time(PCIE_4_X8, -1, 4)
+
+    def test_bandwidth_scale(self):
+        scaled = PCIE_4_X8.scaled(2.0)
+        assert allreduce_time(scaled, 64 * MIB, 4) < allreduce_time(
+            PCIE_4_X8, 64 * MIB, 4
+        )
+
+    def test_scaled_composes(self):
+        assert PCIE_4_X8.scaled(2.0).scaled(3.0).bandwidth_scale == pytest.approx(6.0)
+
+
+class TestP2P:
+    def test_zero_free(self):
+        assert p2p_time(PCIE_4_X8, 0) == 0.0
+
+    def test_includes_latency(self):
+        assert p2p_time(PCIE_4_X8, 1) >= PCIE_4_X8.latency
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            p2p_time(PCIE_4_X8, -5)
+
+
+class TestCluster:
+    def test_make_cluster_picks_fabric(self):
+        assert make_cluster("A10", 8).fabric.name == "pcie4-x8"
+        assert make_cluster("A100-SXM", 8).fabric.name == "nvlink-a100"
+        assert make_cluster("A100-PCIE", 8).fabric.name == "pcie4-x8"
+
+    def test_totals(self):
+        c = make_cluster("A10", 4)
+        assert c.total_gpu_memory == 4 * 24 * GIB
+        assert c.total_cpu_buffer == 4 * 80 * GIB
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(gpu=get_gpu("A10"), num_gpus=0, fabric=PCIE_4_X8)
+
+    def test_scaled_bandwidth_copy(self):
+        c = make_cluster("A10", 8)
+        c2 = c.scaled_bandwidth(5.0)
+        assert c2.fabric.bandwidth_scale == pytest.approx(5.0)
+        assert c.fabric.bandwidth_scale == pytest.approx(1.0)
+
+    def test_describe_mentions_gpu(self):
+        assert "A10" in make_cluster("A10", 8).describe()
+
+    def test_effective_host_bandwidth_below_link(self):
+        c = make_cluster("A10", 8)
+        assert c.effective_host_bandwidth < c.host_link_bandwidth

@@ -1,0 +1,129 @@
+"""Cross-cutting integration tests: public API, engine cross-consistency."""
+
+import pytest
+
+import repro
+from repro import (
+    DecodePrioritizedEngine,
+    EngineOptions,
+    SeesawEngine,
+    VllmLikeEngine,
+    constant_workload,
+    get_model,
+    make_cluster,
+    parse_config,
+)
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_error_hierarchy(self):
+        for exc in (CapacityError, ConfigurationError, SchedulingError, SimulationError):
+            assert issubclass(exc, ReproError)
+
+    def test_quickstart_docstring_flow(self):
+        """The exact flow advertised in the package docstring works."""
+        model = get_model("34b")
+        cluster = make_cluster("A10", 8)
+        workload = constant_workload(16, 512, 32)
+        baseline = VllmLikeEngine(model, cluster, parse_config("T4P2")).run(workload)
+        seesaw = SeesawEngine(
+            model, cluster, parse_config("P8"), parse_config("T4P2")
+        ).run(workload)
+        assert seesaw.throughput_rps > 0 and baseline.throughput_rps > 0
+
+
+class TestCrossEngineConsistency:
+    """Different engines on the same work must agree on the invariants."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        model = get_model("34b")
+        cluster = make_cluster("A10", 8)
+        workload = constant_workload(32, 1024, 64)
+        return model, cluster, workload
+
+    def test_all_engines_process_same_tokens(self, setup):
+        model, cluster, wl = setup
+        results = [
+            VllmLikeEngine(model, cluster, parse_config("T4P2")).run(wl),
+            VllmLikeEngine(
+                model,
+                cluster,
+                parse_config("T4P2"),
+                EngineOptions(chunked_prefill=True, chunk_size=2048),
+            ).run(wl),
+            DecodePrioritizedEngine(model, cluster, parse_config("T4P2")).run(wl),
+            SeesawEngine(
+                model, cluster, parse_config("P8"), parse_config("T4P2")
+            ).run(wl),
+        ]
+        for r in results:
+            assert r.num_requests == 32
+            assert r.input_tokens == wl.total_input_tokens
+            assert r.output_tokens == wl.total_output_tokens
+
+    def test_decode_prioritized_never_faster_than_continuous(self, setup):
+        """Continuous batching dominates batch-at-a-time for same config
+        (equal only when a single batch holds everything)."""
+        model, cluster, wl = setup
+        cb = VllmLikeEngine(model, cluster, parse_config("T4P2")).run(wl)
+        dp = DecodePrioritizedEngine(model, cluster, parse_config("T4P2")).run(wl)
+        assert cb.total_time <= dp.total_time * 1.01
+
+    def test_seesaw_beats_both_parents(self, setup):
+        """The core property: the transition engine beats both of its
+        endpoint static configurations on a mixed workload."""
+        model, cluster, wl = setup
+        pp8 = VllmLikeEngine(model, cluster, parse_config("P8")).run(wl)
+        t4p2 = VllmLikeEngine(model, cluster, parse_config("T4P2")).run(wl)
+        seesaw = SeesawEngine(
+            model, cluster, parse_config("P8"), parse_config("T4P2")
+        ).run(wl)
+        assert seesaw.throughput_rps > pp8.throughput_rps
+        assert seesaw.throughput_rps > t4p2.throughput_rps
+
+    def test_dp_improves_or_matches_small_model(self):
+        """DP on a small model trades KV space for parallel replicas; with
+        ample memory it should not catastrophically lose."""
+        model = get_model("15b")
+        cluster = make_cluster("A10", 8)
+        wl = constant_workload(64, 512, 64)
+        single = VllmLikeEngine(model, cluster, parse_config("T4P2")).run(wl)
+        dp = VllmLikeEngine(model, cluster, parse_config("D2T2P2")).run(wl)
+        assert dp.throughput_rps > 0.5 * single.throughput_rps
+
+    def test_bandwidth_scaling_monotone_for_tp(self, setup):
+        """More all-reduce bandwidth never hurts a TP-heavy config."""
+        model, _, wl = setup
+        base = make_cluster("A10", 8)
+        slow = VllmLikeEngine(
+            model, base.scaled_bandwidth(0.5), parse_config("T8")
+        ).run(wl)
+        fast = VllmLikeEngine(
+            model, base.scaled_bandwidth(4.0), parse_config("T8")
+        ).run(wl)
+        assert fast.total_time < slow.total_time
+
+    def test_nvlink_class_fabric_helps_tp(self, setup):
+        model, _, wl = setup
+        from repro.hardware.interconnect import NVLINK_A100
+
+        pcie = make_cluster("A10", 8)
+        nv = pcie.with_fabric(NVLINK_A100)
+        t_pcie = VllmLikeEngine(model, pcie, parse_config("T8")).run(wl).total_time
+        t_nv = VllmLikeEngine(model, nv, parse_config("T8")).run(wl).total_time
+        assert t_nv < t_pcie

@@ -1,0 +1,123 @@
+"""Model configs: dimension validation and byte/FLOP accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.config import ModelConfig
+from repro.models.registry import MODEL_REGISTRY, get_model, register_model
+
+
+class TestValidation:
+    def test_hidden_must_divide_heads(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(
+                name="bad",
+                num_layers=2,
+                hidden_size=100,
+                num_heads=3,
+                num_kv_heads=1,
+                intermediate_size=256,
+                vocab_size=1000,
+            )
+
+    def test_heads_must_divide_kv_heads(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(
+                name="bad",
+                num_layers=2,
+                hidden_size=128,
+                num_heads=8,
+                num_kv_heads=3,
+                intermediate_size=256,
+                vocab_size=1000,
+            )
+
+    def test_positive_dims(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(
+                name="bad",
+                num_layers=0,
+                hidden_size=128,
+                num_heads=8,
+                num_kv_heads=8,
+                intermediate_size=256,
+                vocab_size=1000,
+            )
+
+
+class TestRegistry:
+    def test_aliases(self):
+        assert get_model("15b").name == "llama3-15b"
+        assert get_model("34b").name == "codellama-34b"
+        assert get_model("70b").name == "llama2-70b"
+        assert get_model("13b").name == "llama2-13b"
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_model("405b")
+
+    def test_duplicate_register(self):
+        with pytest.raises(ConfigurationError):
+            register_model(MODEL_REGISTRY["llama2-70b"])
+
+    def test_param_counts_near_nominal(self):
+        """Total parameters should land near each model's nominal size."""
+        expectations = {
+            "llama2-13b": 13.0e9,
+            "llama3-15b": 15.0e9,
+            "codellama-34b": 33.7e9,
+            "llama2-70b": 69.0e9,
+        }
+        for name, nominal in expectations.items():
+            params = get_model(name).total_params
+            assert params == pytest.approx(nominal, rel=0.08), name
+
+    def test_70b_weight_bytes_about_140_gb(self):
+        """The paper: a 70B model takes ~140 GiB of fp16 weights."""
+        bytes_ = get_model("70b").total_weight_bytes
+        assert 130e9 < bytes_ < 150e9
+
+
+class TestAccounting:
+    def test_kv_bytes_per_token_gqa(self):
+        m = get_model("70b")
+        # 2 (K,V) * hkv * d * 2 bytes * L
+        expected = 2 * 8 * 128 * 2 * 80
+        assert m.kv_bytes_per_token == expected
+
+    def test_gqa_smaller_kv_than_mha(self):
+        mha = get_model("llama2-13b")  # hkv == hq
+        gqa = get_model("34b")
+        assert (
+            gqa.kv_bytes_per_token / gqa.total_params
+            < mha.kv_bytes_per_token / mha.total_params
+        )
+
+    def test_linear_flops_is_2w(self):
+        m = get_model("34b")
+        assert m.linear_flops_per_token_per_layer() == pytest.approx(
+            2.0 * m.layer_params
+        )
+
+    def test_prefill_attention_quadratic(self):
+        m = get_model("34b")
+        f1 = m.attention_flops_prefill_per_layer(100)
+        f2 = m.attention_flops_prefill_per_layer(200)
+        assert f2 == pytest.approx(4 * f1)
+
+    def test_decode_attention_linear_in_context(self):
+        m = get_model("34b")
+        f1 = m.attention_flops_decode_per_layer(100)
+        f2 = m.attention_flops_decode_per_layer(200)
+        assert f2 == pytest.approx(2 * f1)
+
+    def test_activation_bytes(self):
+        m = get_model("70b")
+        assert m.activation_bytes_per_token() == 8192 * 2
+
+    def test_describe_contains_name(self):
+        assert "llama2-70b" in get_model("70b").describe()
+
+    def test_layer_weight_bytes_fp16(self):
+        m = get_model("34b")
+        assert m.layer_weight_bytes == 2 * m.layer_params

@@ -1,0 +1,99 @@
+"""Decode-prioritized and disaggregated engines."""
+
+import pytest
+
+from repro.engines.base import EngineOptions
+from repro.engines.decode_prioritized import DecodePrioritizedEngine
+from repro.engines.disaggregated import (
+    DisaggregatedEngine,
+    DisaggregationPlan,
+)
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.cluster import make_cluster
+from repro.parallel.config import parse_config
+from repro.workloads.datasets import sharegpt_workload
+from repro.workloads.synthetic import constant_workload
+
+
+class TestDecodePrioritized:
+    def test_completes(self, tiny_model, cluster_a10_4):
+        wl = constant_workload(24, 300, 40)
+        r = DecodePrioritizedEngine(
+            tiny_model, cluster_a10_4, parse_config("T2P2")
+        ).run(wl)
+        assert r.num_requests == 24
+
+    def test_batch_at_a_time_transitions(self, model_70b, cluster_a10_8):
+        """One prefill->decode->prefill cycle per admitted batch."""
+        wl = sharegpt_workload(120, seed=2)
+        r = DecodePrioritizedEngine(
+            model_70b, cluster_a10_8, parse_config("T4P2")
+        ).run(wl)
+        assert r.transitions >= 2
+
+    def test_oversized_request_raises(self, tiny_model, cluster_a10_4):
+        wl = constant_workload(1, 2_000_000, 2_000_000)
+        with pytest.raises(CapacityError):
+            DecodePrioritizedEngine(
+                tiny_model, cluster_a10_4, parse_config("T2P2")
+            ).run(wl)
+
+    def test_slower_than_continuous_batching(
+        self, model_70b, cluster_a10_8
+    ):
+        """Draining batches wastes decode capacity vs continuous batching
+        once the workload exceeds GPU KV space."""
+        from repro.engines.vllm_like import VllmLikeEngine
+
+        wl = sharegpt_workload(400, seed=2)
+        dp = DecodePrioritizedEngine(
+            model_70b, cluster_a10_8, parse_config("T4P2")
+        ).run(wl)
+        cb = VllmLikeEngine(model_70b, cluster_a10_8, parse_config("T4P2")).run(wl)
+        assert cb.throughput_rps > dp.throughput_rps
+
+
+class TestDisaggregated:
+    def plan(self):
+        return DisaggregationPlan(
+            prefill_config=parse_config("P4"), decode_config=parse_config("T4")
+        )
+
+    def test_plan_labels(self):
+        plan = self.plan()
+        assert plan.total_gpus == 8
+        assert plan.label() == "P4|T4"
+
+    def test_pools_must_fit(self, model_70b):
+        cluster = make_cluster("A100-PCIE", 8)
+        bad = DisaggregationPlan(
+            prefill_config=parse_config("T2"), decode_config=parse_config("T4P1").__class__(tp=4, pp=1, dp=1)
+        )
+        with pytest.raises(CapacityError):
+            DisaggregatedEngine(model_70b, cluster, bad)
+
+    def test_plan_cannot_exceed_cluster(self, model_70b):
+        cluster = make_cluster("A100-PCIE", 4)
+        with pytest.raises(ConfigurationError):
+            DisaggregatedEngine(model_70b, cluster, self.plan())
+
+    def test_analysis_and_run(self, model_70b):
+        cluster = make_cluster("A100-PCIE", 8)
+        wl = constant_workload(64, 512, 256)
+        engine = DisaggregatedEngine(model_70b, cluster, self.plan())
+        analysis = engine.analyze(wl)
+        assert analysis.prefill_throughput_rps > 0
+        assert analysis.decode_throughput_rps > 0
+        assert analysis.mismatch_ratio >= 1.0
+        result = engine.run(wl)
+        assert result.num_requests == 64
+        # Overall time bounded below by the slower stage.
+        slower = max(analysis.prefill_time, analysis.decode_time)
+        assert result.total_time >= slower
+
+    def test_prefill_pool_faster_than_decode_pool(self, model_70b):
+        """Fig. 4: the balanced 4+4 split still mismatches badly."""
+        cluster = make_cluster("A100-PCIE", 8)
+        wl = constant_workload(64, 512, 512)
+        analysis = DisaggregatedEngine(model_70b, cluster, self.plan()).analyze(wl)
+        assert analysis.prefill_throughput_rps > 2 * analysis.decode_throughput_rps

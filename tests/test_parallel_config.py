@@ -1,0 +1,79 @@
+"""ParallelConfig and label parsing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.config import (
+    ParallelConfig,
+    parse_config,
+    parse_transition,
+    transition_label,
+)
+
+
+class TestConfig:
+    def test_defaults(self):
+        c = ParallelConfig()
+        assert (c.tp, c.pp, c.dp) == (1, 1, 1)
+        assert c.num_gpus == 1
+
+    def test_num_gpus(self):
+        assert ParallelConfig(tp=2, pp=2, dp=2).num_gpus == 8
+        assert ParallelConfig(tp=4, pp=2).model_gpus == 8
+
+    def test_invalid_degree(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(tp=0)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(pp=-1)
+
+    def test_label_omits_unit_degrees(self):
+        assert ParallelConfig(tp=4, pp=2).label() == "T4P2"
+        assert ParallelConfig(tp=1, pp=8).label() == "P8"
+        assert ParallelConfig(dp=2, tp=4).label() == "D2T4"
+        assert ParallelConfig().label() == "T1"
+
+    def test_ordering(self):
+        assert ParallelConfig(tp=1) < ParallelConfig(tp=2)
+
+    def test_hashable(self):
+        assert len({ParallelConfig(tp=2), ParallelConfig(tp=2)}) == 1
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "label,expect",
+        [
+            ("T4P2", (4, 2, 1)),
+            ("t4p2", (4, 2, 1)),
+            ("tp4pp2", (4, 2, 1)),
+            ("P8", (1, 8, 1)),
+            ("D2T2P2", (2, 2, 2)),
+            ("d2t4p1", (4, 1, 2)),
+            ("dp2tp4", (4, 1, 2)),
+        ],
+    )
+    def test_roundtrip(self, label, expect):
+        c = parse_config(label)
+        assert (c.tp, c.pp, c.dp) == expect
+
+    def test_parse_then_label_stable(self):
+        for label in ("T4P2", "D2P4", "T8"):
+            assert parse_config(label).label() == label
+
+    @pytest.mark.parametrize("bad", ["", "X4", "T", "T4T2", "4T", "T4 P2x"])
+    def test_invalid_labels(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_config(bad)
+
+    def test_transition(self):
+        cp, cd = parse_transition("P8->T4P2")
+        assert cp.pp == 8 and cd.tp == 4 and cd.pp == 2
+
+    def test_transition_requires_arrow(self):
+        with pytest.raises(ConfigurationError):
+            parse_transition("P8T4P2")
+
+    def test_transition_label_roundtrip(self):
+        cp, cd = parse_transition("D2P4->D2T4")
+        assert transition_label(cp, cd) == "D2P4->D2T4"

@@ -1,0 +1,89 @@
+"""Per-GPU memory math and the max-batch-size formula (Appendix A.3)."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.hardware.cluster import make_cluster
+from repro.models.registry import get_model
+from repro.parallel.config import ParallelConfig, parse_config
+from repro.parallel.enumerate import enumerate_configs, feasible_configs
+from repro.parallel.memory import (
+    fits,
+    kv_bytes_per_token_per_gpu,
+    kv_capacity_tokens,
+    max_batch_size,
+    weight_bytes_per_gpu,
+)
+
+
+class TestWeightBytes:
+    def test_tp_pp_shard_equally(self, model_70b):
+        full = weight_bytes_per_gpu(model_70b, ParallelConfig())
+        half_tp = weight_bytes_per_gpu(model_70b, ParallelConfig(tp=2))
+        half_pp = weight_bytes_per_gpu(model_70b, ParallelConfig(pp=2))
+        assert half_tp == pytest.approx(full / 2, rel=0.01)
+        assert half_pp == pytest.approx(full / 2, rel=0.01)
+
+    def test_dp_does_not_shard(self, model_70b):
+        a = weight_bytes_per_gpu(model_70b, ParallelConfig(tp=2, pp=2))
+        b = weight_bytes_per_gpu(model_70b, ParallelConfig(tp=2, pp=2, dp=2))
+        assert a == b
+
+    def test_70b_needs_four_40g_gpus(self, model_70b):
+        """The paper: at least four 40 GiB GPUs to fit 140 GiB of weights."""
+        cluster = make_cluster("A100-PCIE", 8)
+        assert not fits(model_70b, cluster, ParallelConfig(tp=2))
+        assert fits(model_70b, cluster, ParallelConfig(tp=4))
+
+
+class TestKVCapacity:
+    def test_oom_raises(self, model_70b):
+        cluster = make_cluster("A10", 8)
+        with pytest.raises(CapacityError):
+            kv_capacity_tokens(model_70b, cluster, ParallelConfig(tp=2))
+
+    def test_tp_pp_scale_capacity_superlinearly(self, model_70b, cluster_a10_8):
+        """Appendix A.3: TP/PP shrink the weight replica so KV capacity
+        grows faster than linearly in the degree."""
+        cap4 = kv_capacity_tokens(model_70b, cluster_a10_8, parse_config("T4P2"))
+        # T4P2 uses 8 GPUs; halving to 4 GPUs (T4) must leave less than
+        # half the tokens because weights take a fixed share.
+        cluster4 = make_cluster("A100-PCIE", 4)
+        cap_t4 = kv_capacity_tokens(model_70b, cluster4, parse_config("T4"))
+        assert cap_t4 < cap4  # despite bigger per-GPU memory on A100
+
+    def test_kv_token_bytes_sharded(self, model_34b):
+        full = kv_bytes_per_token_per_gpu(model_34b, ParallelConfig())
+        sharded = kv_bytes_per_token_per_gpu(model_34b, parse_config("T4P2"))
+        assert sharded == pytest.approx(full / 8)
+
+    def test_max_batch_dp_linear(self, model_34b, cluster_a10_8):
+        b1 = max_batch_size(model_34b, cluster_a10_8, parse_config("T4"), 2048)
+        b2 = max_batch_size(model_34b, cluster_a10_8, parse_config("D2T4"), 2048)
+        assert b2 == pytest.approx(2 * b1, abs=2)
+
+    def test_max_batch_rejects_bad_len(self, model_34b, cluster_a10_8):
+        with pytest.raises(CapacityError):
+            max_batch_size(model_34b, cluster_a10_8, parse_config("T4P2"), 0)
+
+
+class TestEnumeration:
+    def test_all_gpus_used(self):
+        for cfg in enumerate_configs(8):
+            assert cfg.num_gpus == 8
+
+    def test_partial_allowed(self):
+        sizes = {c.num_gpus for c in enumerate_configs(8, require_all_gpus=False)}
+        assert 4 in sizes and 8 in sizes
+
+    def test_no_dp(self):
+        assert all(c.dp == 1 for c in enumerate_configs(8, allow_dp=False))
+
+    def test_feasible_excludes_oom(self, model_70b, cluster_a10_8):
+        cfgs = feasible_configs(model_70b, cluster_a10_8)
+        assert parse_config("T4P2") in cfgs
+        assert parse_config("T2P2D2") not in cfgs  # replica too big
+        assert all(c.num_gpus == 8 for c in cfgs)
+
+    def test_feasible_nonempty_for_small_model(self, tiny_model, cluster_a10_4):
+        assert feasible_configs(tiny_model, cluster_a10_4)

@@ -1,0 +1,128 @@
+"""Property-based tests: KV cache allocator and CPU buffer invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import CapacityError
+from repro.runtime.cpu_buffer import CPUKVBuffer
+from repro.runtime.kvcache import KVCacheManager
+
+
+class KVCacheMachine(RuleBasedStateMachine):
+    """The allocator never oversubscribes and block accounting balances."""
+
+    def __init__(self):
+        super().__init__()
+        self.kv = KVCacheManager(capacity_tokens=4096, block_size=16)
+        self.sizes: dict[int, int] = {}
+        self.next_id = 0
+
+    @rule(tokens=st.integers(min_value=1, max_value=1024))
+    def allocate(self, tokens):
+        seq_id = self.next_id
+        self.next_id += 1
+        if self.kv.can_allocate(tokens):
+            self.kv.allocate(seq_id, tokens)
+            self.sizes[seq_id] = tokens
+        else:
+            try:
+                self.kv.allocate(seq_id, tokens)
+                raise AssertionError("allocate succeeded beyond capacity")
+            except CapacityError:
+                pass
+
+    @precondition(lambda self: self.sizes)
+    @rule(data=st.data(), extra=st.integers(min_value=1, max_value=64))
+    def grow(self, data, extra):
+        seq_id = data.draw(st.sampled_from(sorted(self.sizes)))
+        target = self.sizes[seq_id] + extra
+        try:
+            self.kv.grow(seq_id, target)
+            self.sizes[seq_id] = target
+        except CapacityError:
+            pass  # allowed under pressure; state unchanged
+
+    @precondition(lambda self: self.sizes)
+    @rule(data=st.data())
+    def free(self, data):
+        seq_id = data.draw(st.sampled_from(sorted(self.sizes)))
+        self.kv.free(seq_id)
+        del self.sizes[seq_id]
+
+    @invariant()
+    def blocks_match_sizes(self):
+        expected = sum(self.kv.blocks_for(t) for t in self.sizes.values())
+        assert self.kv.used_blocks == expected
+
+    @invariant()
+    def never_oversubscribed(self):
+        assert 0 <= self.kv.used_blocks <= self.kv.total_blocks
+        assert self.kv.free_tokens >= 0
+
+
+TestKVCacheMachine = KVCacheMachine.TestCase
+
+
+class CPUBufferMachine(RuleBasedStateMachine):
+    """FIFO order and token accounting of the tiered buffer."""
+
+    def __init__(self):
+        super().__init__()
+        self.buf = CPUKVBuffer(capacity_tokens=8192)
+        self.shadow: list[tuple[int, int]] = []
+        self.next_id = 0
+
+    @rule(tokens=st.integers(min_value=0, max_value=2048))
+    def push(self, tokens):
+        seq_id = self.next_id
+        self.next_id += 1
+        if self.buf.fits(tokens):
+            self.buf.push(seq_id, tokens)
+            self.shadow.append((seq_id, tokens))
+        else:
+            try:
+                self.buf.push(seq_id, tokens)
+                raise AssertionError("push succeeded beyond capacity")
+            except CapacityError:
+                pass
+
+    @precondition(lambda self: self.shadow)
+    @rule()
+    def pop(self):
+        assert self.buf.pop() == self.shadow.pop(0)
+
+    @invariant()
+    def accounting(self):
+        assert self.buf.used_tokens == sum(t for _, t in self.shadow)
+        assert self.buf.num_sequences == len(self.shadow)
+        assert 0 <= self.buf.used_tokens <= self.buf.capacity_tokens
+
+
+TestCPUBufferMachine = CPUBufferMachine.TestCase
+
+
+class TestChannelProperties:
+    @given(
+        jobs=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=10),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60)
+    def test_channel_monotone_and_conserves_busy_time(self, jobs):
+        from repro.runtime.channel import TransferChannel
+
+        ch = TransferChannel("x")
+        last_end = 0.0
+        submitted = sorted(jobs, key=lambda j: j[0])
+        for now, dur in submitted:
+            end = ch.submit(now, dur)
+            assert end >= now + dur - 1e-9
+            assert end >= last_end  # FIFO: completions are ordered
+            last_end = end
+        assert ch.busy_time <= last_end + 1e-9

@@ -1,0 +1,151 @@
+"""Property-based tests: parallel configs, shard maps, cost monotonicity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel.breakdown import Breakdown
+from repro.hardware.cluster import make_cluster
+from repro.models.config import ModelConfig
+from repro.models.registry import get_model
+from repro.parallel.config import ParallelConfig, parse_config
+from repro.parallel.resharding import plan_reshard
+from repro.parallel.sharding import build_shard_map
+
+degrees = st.sampled_from([1, 2, 4, 8])
+
+
+@st.composite
+def configs(draw, max_gpus=8):
+    tp = draw(degrees)
+    pp = draw(degrees)
+    dp = draw(degrees)
+    if tp * pp * dp > max_gpus:
+        tp, pp, dp = 1, 1, 1
+    return ParallelConfig(tp=tp, pp=pp, dp=dp)
+
+
+class TestConfigProperties:
+    @given(cfg=configs())
+    def test_label_roundtrip(self, cfg):
+        assert parse_config(cfg.label()) == cfg
+
+    @given(cfg=configs())
+    def test_gpu_count_consistent(self, cfg):
+        assert cfg.num_gpus == cfg.dp * cfg.model_gpus
+
+
+class TestShardMapProperties:
+    model = get_model("34b")
+
+    @given(cfg=configs())
+    @settings(max_examples=40)
+    def test_layers_cover_exactly_once_per_replica(self, cfg):
+        m = build_shard_map(self.model, cfg)
+        for dp_rank in range(cfg.dp):
+            for tp_rank in range(cfg.tp):
+                covered = []
+                for s in m.shards:
+                    if s.dp_rank == dp_rank and s.tp_rank == tp_rank:
+                        covered.extend(range(*s.layer_range))
+                assert sorted(covered) == list(range(self.model.num_layers))
+
+    @given(src=configs(), dst=configs())
+    @settings(max_examples=40)
+    def test_reshard_reuse_bounded(self, src, dst):
+        full = plan_reshard(self.model, src, dst, reuse_overlap=False)
+        reuse = plan_reshard(self.model, src, dst, reuse_overlap=True)
+        assert reuse.total_transfer_bytes <= full.total_transfer_bytes + 1e-6
+        for need, xfer in zip(reuse.bytes_per_gpu, reuse.transfer_bytes_per_gpu):
+            assert -1e-6 <= xfer <= need + 1e-6
+
+
+class TestBreakdownProperties:
+    components = st.floats(min_value=0, max_value=1e3)
+
+    @given(
+        a=st.tuples(*[components] * 6),
+        b=st.tuples(*[components] * 6),
+    )
+    def test_total_subadditive(self, a, b):
+        """Roofline totals are subadditive: max(x+y) <= max(x)+max(y)."""
+        ba = Breakdown(*a)
+        bb = Breakdown(*b)
+        assert (ba + bb).total <= ba.total + bb.total + 1e-9
+
+    @given(a=st.tuples(*[components] * 6), k=st.floats(min_value=0, max_value=100))
+    def test_scale_scales_total(self, a, k):
+        b = Breakdown(*a)
+        assert b.scale(k).total == b.total * k or abs(
+            b.scale(k).total - b.total * k
+        ) < 1e-6 * max(1.0, b.total * k)
+
+    @given(a=st.tuples(*[components] * 6))
+    def test_attribution_conserves_total(self, a):
+        b = Breakdown(*a)
+        assert sum(b.attributed().values()) <= b.total + 1e-9
+
+
+class TestCostMonotonicity:
+    model = get_model("34b")
+    cluster = make_cluster("A10", 8)
+
+    @given(
+        tokens=st.integers(min_value=1, max_value=8192),
+        extra=st.integers(min_value=1, max_value=4096),
+    )
+    @settings(max_examples=30)
+    def test_prefill_cost_monotone_in_tokens(self, tokens, extra):
+        from repro.costmodel.step import StepCostModel
+
+        m = StepCostModel(self.model, self.cluster, parse_config("T2P2D2"))
+        t1 = m.prefill_stage_time([tokens]).total
+        t2 = m.prefill_stage_time([tokens + extra]).total
+        assert t2 >= t1
+
+    @given(
+        seqs=st.integers(min_value=1, max_value=256),
+        extra=st.integers(min_value=1, max_value=128),
+    )
+    @settings(max_examples=30)
+    def test_decode_iteration_monotone_in_batch(self, seqs, extra):
+        from repro.costmodel.step import StepCostModel
+
+        m = StepCostModel(self.model, self.cluster, parse_config("T4P2"))
+        t1 = m.decode_iteration_time(seqs, seqs * 1000).total
+        t2 = m.decode_iteration_time(seqs + extra, (seqs + extra) * 1000).total
+        assert t2 >= t1 - 1e-12
+
+    @given(seqs=st.integers(min_value=1, max_value=128))
+    @settings(max_examples=30)
+    def test_decode_throughput_improves_with_batch(self, seqs):
+        """Per-token cost falls (or holds) as the batch grows — the
+        batching-amortizes-weights effect of Section 2.2."""
+        from repro.costmodel.step import StepCostModel
+
+        m = StepCostModel(self.model, self.cluster, parse_config("T4P2"))
+        t1 = m.decode_iteration_time(seqs, seqs * 500).total / seqs
+        t2 = m.decode_iteration_time(2 * seqs, 2 * seqs * 500).total / (2 * seqs)
+        assert t2 <= t1 * 1.01
+
+
+class TestModelAccountingProperties:
+    @given(
+        layers=st.integers(min_value=1, max_value=100),
+        heads=st.sampled_from([8, 16, 32, 64]),
+        kv_ratio=st.sampled_from([1, 2, 4, 8]),
+        head_dim=st.sampled_from([64, 128]),
+    )
+    @settings(max_examples=40)
+    def test_param_and_kv_accounting_consistent(self, layers, heads, kv_ratio, head_dim):
+        m = ModelConfig(
+            name="gen",
+            num_layers=layers,
+            hidden_size=heads * head_dim,
+            num_heads=heads,
+            num_kv_heads=max(1, heads // kv_ratio),
+            intermediate_size=4 * heads * head_dim,
+            vocab_size=1000,
+        )
+        assert m.total_params == layers * m.layer_params + 2 * m.embedding_params
+        assert m.kv_bytes_per_token == layers * m.kv_bytes_per_token_per_layer
+        assert m.total_weight_bytes == m.total_params * 2

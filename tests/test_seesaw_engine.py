@@ -1,0 +1,192 @@
+"""The Seesaw engine: re-sharding, tiered buffering, scheduling."""
+
+import pytest
+
+from repro.core.engine import SeesawEngine
+from repro.core.options import SeesawOptions
+from repro.engines.vllm_like import VllmLikeEngine
+from repro.errors import ConfigurationError
+from repro.parallel.config import parse_config
+from repro.workloads.datasets import arxiv_workload, sharegpt_workload
+from repro.workloads.synthetic import constant_workload
+
+
+class TestConstruction:
+    def test_dp_must_match(self, model_34b, cluster_a10_8):
+        with pytest.raises(ConfigurationError):
+            SeesawEngine(
+                model_34b, cluster_a10_8, parse_config("D2P4"), parse_config("T4P2")
+            )
+
+    def test_gpu_count_must_match(self, model_34b, cluster_a10_8):
+        with pytest.raises(ConfigurationError):
+            SeesawEngine(
+                model_34b, cluster_a10_8, parse_config("P4"), parse_config("T4P2")
+            )
+
+    def test_label(self, model_34b, cluster_a10_8):
+        e = SeesawEngine(
+            model_34b, cluster_a10_8, parse_config("P8"), parse_config("T4P2")
+        )
+        assert e.label() == "P8->T4P2"
+
+
+class TestExecution:
+    def test_completes_all_requests(self, model_34b, cluster_a10_8, small_arxiv):
+        r = SeesawEngine(
+            model_34b, cluster_a10_8, parse_config("P8"), parse_config("T4P2")
+        ).run(small_arxiv)
+        assert r.num_requests == small_arxiv.num_requests
+        assert r.output_tokens == small_arxiv.total_output_tokens
+
+    def test_transitions_counted(self, model_34b, cluster_a10_8, small_arxiv):
+        r = SeesawEngine(
+            model_34b, cluster_a10_8, parse_config("P8"), parse_config("T4P2")
+        ).run(small_arxiv)
+        assert r.transitions >= 1
+        assert r.phase_time.get("reshard", 0.0) > 0.0
+
+    def test_kv_flows_through_cpu(self, model_34b, cluster_a10_8, small_arxiv):
+        r = SeesawEngine(
+            model_34b, cluster_a10_8, parse_config("P8"), parse_config("T4P2")
+        ).run(small_arxiv)
+        assert r.swapped_out_tokens > 0
+        assert r.swapped_in_tokens > 0
+        # Everything parked must eventually come back for decoding.
+        assert r.swapped_in_tokens == r.swapped_out_tokens
+
+    def test_degenerate_pair_skips_cpu(self, model_34b, cluster_a10_8, small_arxiv):
+        r = SeesawEngine(
+            model_34b, cluster_a10_8, parse_config("T4P2"), parse_config("T4P2")
+        ).run(small_arxiv)
+        assert r.transitions == 0
+        assert r.swapped_out_tokens == 0
+
+    def test_dp_pairs_run(self, model_34b, cluster_a10_8, small_arxiv):
+        r = SeesawEngine(
+            model_34b, cluster_a10_8, parse_config("D2P4"), parse_config("D2T4")
+        ).run(small_arxiv)
+        assert r.num_requests == small_arxiv.num_requests
+
+    def test_output_len_one_never_parked(self, model_34b, cluster_a10_8):
+        wl = constant_workload(16, 1024, 1)
+        r = SeesawEngine(
+            model_34b, cluster_a10_8, parse_config("P8"), parse_config("T4P2")
+        ).run(wl)
+        assert r.swapped_out_tokens == 0
+        assert r.transitions == 0  # never needed the decode config
+
+    def test_deterministic(self, model_34b, cluster_a10_8, small_arxiv):
+        mk = lambda: SeesawEngine(
+            model_34b, cluster_a10_8, parse_config("P8"), parse_config("T4P2")
+        )
+        assert mk().run(small_arxiv).total_time == pytest.approx(
+            mk().run(small_arxiv).total_time
+        )
+
+    def test_tight_memory_70b(self, model_70b, cluster_a10_8):
+        """The paper's hardest configuration: 70B on 8x24GiB."""
+        wl = arxiv_workload(20, seed=5)
+        r = SeesawEngine(
+            model_70b, cluster_a10_8, parse_config("P8"), parse_config("T4P2")
+        ).run(wl)
+        assert r.num_requests == 20
+
+
+class TestScheduling:
+    def test_transition_minimizing_few_transitions(
+        self, model_70b, cluster_a10_8
+    ):
+        """With the CPU pool larger than the workload, one cycle suffices."""
+        wl = sharegpt_workload(60, seed=3)
+        r = SeesawEngine(
+            model_70b, cluster_a10_8, parse_config("P8"), parse_config("T4P2")
+        ).run(wl)
+        assert r.transitions <= 2
+
+    def test_eager_transitions_many(self, model_70b, cluster_a10_8):
+        wl = sharegpt_workload(60, seed=3)
+        eager = SeesawEngine(
+            model_70b,
+            cluster_a10_8,
+            parse_config("P8"),
+            parse_config("T4P2"),
+            SeesawOptions(eager_transitions=True),
+        ).run(wl)
+        assert eager.transitions >= 5
+
+    def test_eager_transitions_slower(self, model_70b, cluster_a10_8):
+        wl = sharegpt_workload(60, seed=3)
+        mk = lambda opts: SeesawEngine(
+            model_70b,
+            cluster_a10_8,
+            parse_config("P8"),
+            parse_config("T4P2"),
+            opts,
+        ).run(wl)
+        assert (
+            mk(SeesawOptions(eager_transitions=True)).total_time
+            > mk(SeesawOptions()).total_time
+        )
+
+    def test_multiple_cycles_when_cpu_small(self, model_34b, cluster_a10_8):
+        """Shrinking the CPU pool forces several prefill/decode cycles."""
+        from dataclasses import replace
+
+        from repro.utils.units import GIB
+
+        small_cpu = replace(cluster_a10_8, cpu_memory_per_gpu=2 * GIB)
+        wl = arxiv_workload(40, seed=4)
+        r = SeesawEngine(
+            model_34b, small_cpu, parse_config("P8"), parse_config("T4P2")
+        ).run(wl)
+        assert r.num_requests == 40
+        assert r.transitions >= 3
+
+
+class TestAblations:
+    def test_no_overlap_is_slower(self, model_70b, cluster_a10_8):
+        wl = arxiv_workload(24, seed=6)
+        mk = lambda opts: SeesawEngine(
+            model_70b, cluster_a10_8, parse_config("P8"), parse_config("T4P2"), opts
+        ).run(wl)
+        overlapped = mk(SeesawOptions(overlap_swap=True))
+        blocking = mk(SeesawOptions(overlap_swap=False))
+        assert blocking.total_time >= overlapped.total_time
+
+    def test_no_cpu_buffer_completes(self, model_34b, cluster_a10_8, small_arxiv):
+        r = SeesawEngine(
+            model_34b,
+            cluster_a10_8,
+            parse_config("P8"),
+            parse_config("T4P2"),
+            SeesawOptions(use_cpu_buffer=False),
+        ).run(small_arxiv)
+        assert r.num_requests == small_arxiv.num_requests
+        assert r.swapped_out_tokens == 0
+
+    def test_tiered_buffer_beats_no_buffer_under_pressure(
+        self, model_70b, cluster_a10_8
+    ):
+        """Fig. 2's point: tiered buffering keeps decode batches full once
+        the request population exceeds GPU KV capacity."""
+        wl = sharegpt_workload(400, seed=8)
+        mk = lambda opts: SeesawEngine(
+            model_70b, cluster_a10_8, parse_config("P8"), parse_config("T4P2"), opts
+        ).run(wl)
+        tiered = mk(SeesawOptions())
+        no_buffer = mk(SeesawOptions(use_cpu_buffer=False))
+        assert tiered.throughput_rps > no_buffer.throughput_rps
+
+    def test_nhd_layout_slower(self, model_70b, cluster_a10_8):
+        from repro.costmodel.transfer import KVLayout
+
+        wl = arxiv_workload(24, seed=6)
+        mk = lambda layout: SeesawEngine(
+            model_70b,
+            cluster_a10_8,
+            parse_config("P8"),
+            parse_config("T4P2"),
+            SeesawOptions(kv_layout=layout),
+        ).run(wl)
+        assert mk(KVLayout.NHD).total_time >= mk(KVLayout.HND).total_time

@@ -1,0 +1,92 @@
+"""Shard maps and re-shard planning."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import make_cluster
+from repro.models.registry import get_model
+from repro.parallel.config import ParallelConfig, parse_config
+from repro.parallel.resharding import plan_reshard
+from repro.parallel.sharding import build_shard_map
+
+
+class TestShardMap:
+    def test_gpu_count(self, model_34b):
+        m = build_shard_map(model_34b, parse_config("D2T2P2"))
+        assert m.num_gpus == 8
+
+    def test_layers_partition_exactly(self, model_34b):
+        m = build_shard_map(model_34b, parse_config("P8"))
+        covered = []
+        for s in m.shards:
+            covered.extend(range(*s.layer_range))
+        assert sorted(covered) == list(range(model_34b.num_layers))
+
+    def test_uneven_layer_split(self):
+        model = get_model("llama2-13b")  # 40 layers
+        m = build_shard_map(model, ParallelConfig(pp=3))
+        sizes = [s.num_layers for s in m.shards]
+        assert sum(sizes) == 40
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_pp_exceeding_layers_rejected(self, tiny_model):
+        with pytest.raises(ConfigurationError):
+            build_shard_map(tiny_model, ParallelConfig(pp=32))
+
+    def test_total_weight_bytes_conserved(self, model_34b):
+        for label in ("T4P2", "P8", "T8", "D2T4"):
+            m = build_shard_map(model_34b, parse_config(label))
+            per_replica = sum(
+                s.weight_bytes(model_34b) for s in m.shards
+            ) / parse_config(label).dp
+            expected = model_34b.num_layers * model_34b.layer_weight_bytes
+            assert per_replica == pytest.approx(expected, rel=1e-9)
+
+    def test_overlap_identity(self, model_34b):
+        m = build_shard_map(model_34b, parse_config("T4P2"))
+        s = m.shard_for(0)
+        assert s.layer_fraction_overlap(s) == pytest.approx(1.0)
+
+    def test_overlap_disjoint_stages(self, model_34b):
+        m = build_shard_map(model_34b, parse_config("P8"))
+        assert m.shard_for(0).layer_fraction_overlap(m.shard_for(1)) == 0.0
+
+    def test_overlap_tp_slices(self, model_34b):
+        coarse = build_shard_map(model_34b, parse_config("T2")).shard_for(0)
+        fine = build_shard_map(model_34b, parse_config("T4")).shard_for(0)
+        # T4 rank0 slice [0, 1/4) lies entirely inside T2 rank0 [0, 1/2).
+        assert fine.layer_fraction_overlap(coarse) == pytest.approx(1.0)
+        # Conversely only half of the T2 slice is covered by the T4 slice.
+        assert coarse.layer_fraction_overlap(fine) == pytest.approx(0.5)
+
+
+class TestReshardPlan:
+    def test_noop_transition_free(self, model_34b):
+        plan = plan_reshard(model_34b, parse_config("T4P2"), parse_config("T4P2"))
+        assert plan.total_transfer_bytes == 0.0
+
+    def test_full_reload_bytes(self, model_34b):
+        src, dst = parse_config("P8"), parse_config("T4P2")
+        plan = plan_reshard(model_34b, src, dst)
+        expected_per_gpu = model_34b.num_layers * model_34b.layer_weight_bytes / 8
+        assert plan.max_transfer_bytes == pytest.approx(expected_per_gpu, rel=1e-9)
+
+    def test_reuse_reduces_transfer(self, model_34b):
+        src, dst = parse_config("T2P4"), parse_config("T4P2")
+        full = plan_reshard(model_34b, src, dst, reuse_overlap=False)
+        reuse = plan_reshard(model_34b, src, dst, reuse_overlap=True)
+        assert reuse.total_transfer_bytes < full.total_transfer_bytes
+
+    def test_transfer_time_positive(self, model_70b):
+        cluster = make_cluster("A10", 8)
+        plan = plan_reshard(model_70b, parse_config("P8"), parse_config("T4P2"))
+        t = plan.transfer_time(cluster)
+        # ~17 GB per GPU over ~13.6 GB/s: order of a second.
+        assert 0.5 < t < 5.0
+
+    def test_reuse_never_exceeds_need(self, model_34b):
+        plan = plan_reshard(
+            model_34b, parse_config("P4"), parse_config("T4"), reuse_overlap=True
+        )
+        for need, have in zip(plan.bytes_per_gpu, plan.reusable_bytes_per_gpu):
+            assert have <= need + 1e-6

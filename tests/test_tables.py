@@ -1,0 +1,48 @@
+"""ASCII rendering helpers."""
+
+import pytest
+
+from repro.utils.tables import ascii_bar_chart, ascii_series, ascii_table
+
+
+class TestAsciiTable:
+    def test_contains_cells_and_headers(self):
+        out = ascii_table(["a", "bb"], [["1", "22"], ["333", "4"]])
+        assert "a" in out and "bb" in out
+        assert "333" in out
+
+    def test_title_first_line(self):
+        out = ascii_table(["x"], [["1"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_alignment_width(self):
+        out = ascii_table(["col"], [["longvalue"]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1  # all rows same width
+
+
+class TestBarChart:
+    def test_longest_bar_for_max(self):
+        out = ascii_bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({})
+
+    def test_zero_values_ok(self):
+        out = ascii_bar_chart({"a": 0.0})
+        assert "a" in out
+
+
+class TestSeries:
+    def test_renders_all_points(self):
+        out = ascii_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]})
+        assert "s1" in out and "s2" in out
+        assert "0.400" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ascii_series("x", [1, 2], {"s": [0.1]})

@@ -1,0 +1,133 @@
+"""Execution traces and schedule timelines."""
+
+import pytest
+
+from repro.core.engine import SeesawEngine
+from repro.core.options import SeesawOptions
+from repro.engines.base import EngineOptions
+from repro.engines.vllm_like import VllmLikeEngine
+from repro.errors import SimulationError
+from repro.parallel.config import parse_config
+from repro.runtime.trace import (
+    DECODE,
+    PREFILL,
+    RESHARD,
+    SWAP_IN,
+    SWAP_OUT,
+    NullTrace,
+    Trace,
+    TraceEvent,
+    render_timeline,
+)
+from repro.workloads.synthetic import constant_workload
+
+
+class TestTraceBasics:
+    def test_record_and_query(self):
+        t = Trace()
+        t.record(PREFILL, 0.0, 1.0, tokens=100)
+        t.record(DECODE, 1.0, 2.0, num_seqs=4)
+        assert len(t) == 2
+        assert t.total_time(DECODE) == pytest.approx(2.0)
+        assert t.span == pytest.approx(3.0)
+        assert [e.kind for e in t] == [PREFILL, DECODE]
+
+    def test_invalid_kind(self):
+        with pytest.raises(SimulationError):
+            TraceEvent(kind="nap", start=0, duration=1)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceEvent(kind=DECODE, start=-1, duration=1)
+
+    def test_null_trace_free(self):
+        t = NullTrace()
+        t.record(PREFILL, 0.0, 1.0)
+        assert len(t) == 0
+        assert not t.enabled
+
+    def test_segments_coalesce(self):
+        t = Trace()
+        t.record(DECODE, 0.0, 1.0)
+        t.record(DECODE, 1.0, 1.0)
+        t.record(PREFILL, 2.0, 1.0)
+        t.record(DECODE, 3.0, 1.0)
+        segs = t.phase_segments()
+        assert [s[0] for s in segs] == [DECODE, PREFILL, DECODE]
+        assert segs[0][1:] == (0.0, 2.0)
+
+    def test_render_empty(self):
+        assert "empty" in render_timeline(Trace())
+
+    def test_render_rows(self):
+        t = Trace()
+        t.record(PREFILL, 0.0, 5.0)
+        t.record(DECODE, 5.0, 5.0)
+        out = render_timeline(t, width=20)
+        assert "prefill" in out and "decode" in out
+        assert "#" in out
+
+
+class TestEngineTracing:
+    def test_disabled_by_default(self, tiny_model, cluster_a10_4):
+        engine = VllmLikeEngine(tiny_model, cluster_a10_4, parse_config("T2P2"))
+        engine.run(constant_workload(8, 200, 16))
+        assert not engine.last_trace.enabled
+
+    def test_vllm_trace_has_phases(self, tiny_model, cluster_a10_4):
+        engine = VllmLikeEngine(
+            tiny_model, cluster_a10_4, parse_config("T2P2"), EngineOptions(trace=True)
+        )
+        result = engine.run(constant_workload(8, 200, 16))
+        trace = engine.last_trace
+        assert trace.enabled
+        assert trace.of_kind(PREFILL)
+        assert trace.of_kind(DECODE)
+        # Trace compute time accounts for the run's wall clock.
+        total = trace.total_time(PREFILL) + trace.total_time(DECODE)
+        assert total == pytest.approx(result.total_time, rel=1e-6)
+
+    def test_seesaw_trace_has_reshards_and_swaps(
+        self, model_34b, cluster_a10_8, small_arxiv
+    ):
+        engine = SeesawEngine(
+            model_34b,
+            cluster_a10_8,
+            parse_config("P8"),
+            parse_config("T4P2"),
+            SeesawOptions(trace=True),
+        )
+        result = engine.run(small_arxiv)
+        trace = engine.last_trace
+        assert trace.of_kind(RESHARD)
+        assert trace.of_kind(SWAP_IN) and trace.of_kind(SWAP_OUT)
+        assert sum(e.tokens for e in trace.of_kind(SWAP_OUT)) == result.swapped_out_tokens
+
+    def test_seesaw_phase_alternation(self, model_34b, cluster_a10_8, small_arxiv):
+        """The trace shows the Fig. 2(c) structure: prefill, then a reshard,
+        then decode — with no decode before the first reshard."""
+        engine = SeesawEngine(
+            model_34b,
+            cluster_a10_8,
+            parse_config("P8"),
+            parse_config("T4P2"),
+            SeesawOptions(trace=True),
+        )
+        engine.run(small_arxiv)
+        kinds = [s[0] for s in engine.last_trace.phase_segments()]
+        assert kinds[0] == PREFILL
+        assert RESHARD in kinds
+        assert kinds.index(RESHARD) < kinds.index(DECODE)
+
+    def test_events_are_time_ordered_within_phase(self, model_34b, cluster_a10_8, small_arxiv):
+        engine = SeesawEngine(
+            model_34b,
+            cluster_a10_8,
+            parse_config("P8"),
+            parse_config("T4P2"),
+            SeesawOptions(trace=True),
+        )
+        engine.run(small_arxiv)
+        decodes = engine.last_trace.of_kind(DECODE)
+        starts = [e.start for e in decodes]
+        assert starts == sorted(starts)

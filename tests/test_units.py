@@ -1,0 +1,80 @@
+"""Unit formatting and constants."""
+
+import pytest
+
+from repro.utils.units import (
+    GB,
+    GIB,
+    KIB,
+    MIB,
+    MS,
+    SEC,
+    TIB,
+    US,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time,
+)
+
+
+class TestConstants:
+    def test_binary_units_scale_by_1024(self):
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+        assert TIB == 1024 * GIB
+
+    def test_decimal_vs_binary(self):
+        assert GB < GIB
+
+    def test_time_units(self):
+        assert US == pytest.approx(1e-6)
+        assert MS == pytest.approx(1e-3)
+        assert SEC == 1.0
+
+
+class TestFmtBytes:
+    def test_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+
+    def test_gib(self):
+        assert fmt_bytes(24 * GIB) == "24.00 GiB"
+
+    def test_tib(self):
+        assert fmt_bytes(2 * TIB) == "2.00 TiB"
+
+    def test_negative(self):
+        assert fmt_bytes(-1 * MIB) == "-1.00 MiB"
+
+    def test_fractional(self):
+        assert fmt_bytes(1536 * MIB) == "1.50 GiB"
+
+
+class TestFmtTime:
+    def test_nanoseconds(self):
+        assert fmt_time(5e-9) == "5 ns"
+
+    def test_microseconds(self):
+        assert fmt_time(42e-6) == "42.0 us"
+
+    def test_milliseconds(self):
+        assert fmt_time(3.2e-3) == "3.20 ms"
+
+    def test_seconds(self):
+        assert fmt_time(2.5) == "2.50 s"
+
+    def test_minutes(self):
+        assert fmt_time(90) == "1.50 min"
+
+    def test_negative(self):
+        assert fmt_time(-0.004).startswith("-4.00")
+
+
+class TestFmtRate:
+    def test_plain(self):
+        assert fmt_rate(0.5) == "0.500 req/s"
+
+    def test_kilo(self):
+        assert fmt_rate(2500, "tok/s") == "2.50 ktok/s"
+
+    def test_mega(self):
+        assert fmt_rate(3.1e6) == "3.10 Mreq/s"

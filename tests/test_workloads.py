@@ -1,0 +1,116 @@
+"""Workload samplers: shapes, determinism, statistics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.datasets import arxiv_workload, sample_dataset, sharegpt_workload
+from repro.workloads.spec import WorkloadSpec, workload_stats
+from repro.workloads.synthetic import (
+    constant_workload,
+    poisson_arrival_workload,
+    ratio_workload,
+    uniform_workload,
+)
+
+
+class TestSpec:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="x", requests=())
+
+    def test_totals(self):
+        wl = constant_workload(10, 100, 20)
+        assert wl.total_input_tokens == 1000
+        assert wl.total_output_tokens == 200
+        assert wl.decode_prefill_ratio == pytest.approx(0.2)
+
+    def test_subset(self):
+        wl = constant_workload(10, 100, 20)
+        assert wl.subset(3).num_requests == 3
+        with pytest.raises(ConfigurationError):
+            wl.subset(0)
+
+    def test_stats(self):
+        stats = workload_stats(constant_workload(5, 100, 20))
+        assert stats.input_mean == 100
+        assert stats.output_p90 == 20
+
+
+class TestSynthetic:
+    def test_constant(self):
+        wl = constant_workload(4, 128, 32)
+        assert all(r.prompt_len == 128 and r.output_len == 32 for r in wl.requests)
+
+    def test_uniform_in_range(self):
+        wl = uniform_workload(50, (10, 20), (1, 5), seed=3)
+        assert all(10 <= r.prompt_len <= 20 for r in wl.requests)
+        assert all(1 <= r.output_len <= 5 for r in wl.requests)
+
+    def test_uniform_deterministic(self):
+        a = uniform_workload(10, (10, 20), (1, 5), seed=3)
+        b = uniform_workload(10, (10, 20), (1, 5), seed=3)
+        assert [r.prompt_len for r in a.requests] == [r.prompt_len for r in b.requests]
+
+    def test_uniform_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            uniform_workload(10, (20, 10), (1, 5))
+
+    def test_ratio(self):
+        wl = ratio_workload(10, 0.1, prompt_len=3000)
+        assert wl.requests[0].output_len == 300
+        assert wl.requests[0].prompt_len == 3000
+
+    def test_ratio_zero_gives_prefill_only(self):
+        wl = ratio_workload(10, 0.0)
+        assert all(r.output_len == 1 for r in wl.requests)
+
+    def test_ratio_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ratio_workload(10, -0.1)
+
+    def test_poisson_arrivals_increase(self):
+        base = constant_workload(20, 100, 10)
+        wl = poisson_arrival_workload(base, rate_rps=2.0, seed=1)
+        times = [r.arrival_time for r in wl.requests]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+
+class TestDatasets:
+    def test_arxiv_shape(self):
+        """Fig. 9a: long inputs, short outputs -> low D:P."""
+        stats = workload_stats(arxiv_workload(500, seed=1))
+        assert stats.input_mean > 2000
+        assert stats.output_mean < 400
+        assert stats.decode_prefill_ratio < 0.15
+
+    def test_sharegpt_shape(self):
+        """Fig. 9b: comparable input/output lengths -> D:P near 1."""
+        stats = workload_stats(sharegpt_workload(2000, seed=1))
+        assert 150 < stats.input_mean < 800
+        assert 150 < stats.output_mean < 500
+        assert 0.3 < stats.decode_prefill_ratio < 1.5
+
+    def test_arxiv_much_longer_inputs_than_sharegpt(self):
+        a = workload_stats(arxiv_workload(300, seed=2))
+        s = workload_stats(sharegpt_workload(300, seed=2))
+        assert a.input_mean > 3 * s.input_mean
+
+    def test_deterministic(self):
+        a = sharegpt_workload(50, seed=9)
+        b = sharegpt_workload(50, seed=9)
+        assert [r.prompt_len for r in a.requests] == [r.prompt_len for r in b.requests]
+
+    def test_sample_dataset_defaults(self):
+        assert sample_dataset("sharegpt").num_requests == 2000
+        assert sample_dataset("arxiv").num_requests == 500
+
+    def test_sample_dataset_unknown(self):
+        with pytest.raises(ConfigurationError):
+            sample_dataset("wikipedia")
+
+    def test_lengths_positive_and_bounded(self):
+        for wl in (arxiv_workload(200, seed=3), sharegpt_workload(200, seed=3)):
+            for r in wl.requests:
+                assert 1 <= r.prompt_len <= 8192
+                assert 1 <= r.output_len <= 4096
