@@ -2,6 +2,7 @@
 
 from repro.analysis.report import (
     comparison_table,
+    latency_table,
     normalized_throughputs,
     speedup,
     best_result,
@@ -10,6 +11,7 @@ from repro.analysis.breakdown import phase_breakdown_table, attributed_fractions
 
 __all__ = [
     "comparison_table",
+    "latency_table",
     "normalized_throughputs",
     "speedup",
     "best_result",

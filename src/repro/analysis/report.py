@@ -42,25 +42,87 @@ def comparison_table(
     baseline_key: str | None = None,
     title: str | None = None,
 ) -> str:
-    """Tabulate runs: throughput, tokens/s, phase times, normalized column."""
+    """Tabulate runs: throughput, tokens/s, phase times, normalized column.
+
+    When any run carries per-request latency statistics, TTFT/TPOT
+    percentile columns are appended (blank for runs without them).
+    """
     keys = list(results.keys())
     base = (
         results[baseline_key].throughput_rps
         if baseline_key is not None
         else max(r.throughput_rps for r in results.values())
     )
+    with_latency = any(r.latency is not None for r in results.values())
     headers = ["run", "req/s", "norm", "out-tok/s", "time(s)", "transitions"]
+    if with_latency:
+        headers += ["ttft-p50(s)", "ttft-p99(s)", "tpot-p50(ms)"]
     rows = []
     for k in keys:
         r = results[k]
-        rows.append(
-            [
-                k,
-                f"{r.throughput_rps:.4f}",
-                f"{r.throughput_rps / base:.2f}",
-                f"{r.throughput_tokens_per_s:.0f}",
-                f"{r.total_time:.1f}",
-                str(r.transitions),
-            ]
-        )
+        row = [
+            k,
+            f"{r.throughput_rps:.4f}",
+            f"{r.throughput_rps / base:.2f}",
+            f"{r.throughput_tokens_per_s:.0f}",
+            f"{r.total_time:.1f}",
+            str(r.transitions),
+        ]
+        if with_latency:
+            if r.latency is not None:
+                row += [
+                    f"{r.latency.ttft.p50:.3f}",
+                    f"{r.latency.ttft.p99:.3f}",
+                    f"{r.latency.tpot.p50 * 1e3:.1f}",
+                ]
+            else:
+                row += ["-", "-", "-"]
+        rows.append(row)
+    return ascii_table(headers, rows, title=title)
+
+
+def latency_table(
+    results: Mapping[str, EngineResult],
+    title: str | None = None,
+    ttft_slo: float | None = None,
+    tpot_slo: float | None = None,
+) -> str:
+    """Per-run latency detail: queue delay, TTFT, TPOT, E2E, SLO attainment.
+
+    Runs without latency statistics are skipped; raises if none have any.
+    """
+    rows = []
+    for k, r in results.items():
+        lat = r.latency
+        if lat is None:
+            continue
+        row = [
+            k,
+            f"{lat.queue_delay.mean:.3f}",
+            f"{lat.ttft.p50:.3f}",
+            f"{lat.ttft.p90:.3f}",
+            f"{lat.ttft.p99:.3f}",
+            f"{lat.tpot.p50 * 1e3:.1f}",
+            f"{lat.tpot.p99 * 1e3:.1f}",
+            f"{lat.e2e.p50:.2f}",
+            f"{lat.e2e.p99:.2f}",
+        ]
+        if ttft_slo is not None or tpot_slo is not None:
+            row.append(f"{lat.slo_attainment(ttft_slo, tpot_slo) * 100:.0f}%")
+        rows.append(row)
+    if not rows:
+        raise ConfigurationError("no results carry latency statistics")
+    headers = [
+        "run",
+        "queue(s)",
+        "ttft-p50",
+        "ttft-p90",
+        "ttft-p99",
+        "tpot-p50(ms)",
+        "tpot-p99(ms)",
+        "e2e-p50",
+        "e2e-p99",
+    ]
+    if ttft_slo is not None or tpot_slo is not None:
+        headers.append("slo")
     return ascii_table(headers, rows, title=title)

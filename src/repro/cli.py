@@ -17,7 +17,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.analysis.report import comparison_table
+from repro.analysis.report import comparison_table, latency_table
 from repro.autotuner.search import (
     best_seesaw_pair,
     best_static_config,
@@ -33,6 +33,7 @@ from repro.models.registry import get_model
 from repro.parallel.config import parse_config, parse_transition
 from repro.runtime.metrics import EngineResult
 from repro.runtime.trace import render_timeline
+from repro.workloads.arrivals import ARRIVAL_KINDS, make_arrivals
 from repro.workloads.datasets import sample_dataset
 from repro.workloads.synthetic import constant_workload
 
@@ -48,18 +49,63 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--num-requests", type=int, default=200)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--request-rate",
+        type=float,
+        default=0.0,
+        help="offered request rate in req/s; 0 (default) runs offline "
+        "with every request available at t=0",
+    )
+    parser.add_argument(
+        "--arrival",
+        choices=list(ARRIVAL_KINDS),
+        default="poisson",
+        help="arrival process used when --request-rate > 0",
+    )
+    parser.add_argument(
+        "--burstiness",
+        type=float,
+        default=4.0,
+        help="squared coefficient of variation of bursty inter-arrival "
+        "gaps (1.0 = Poisson); only used with --arrival bursty",
+    )
 
 
 def _make_workload(args: argparse.Namespace):
     if args.dataset.startswith("const:"):
         spec = args.dataset.split(":", 1)[1]
-        prompt, output = (int(x) for x in spec.lower().split("x"))
-        return constant_workload(args.num_requests, prompt, output)
-    return sample_dataset(args.dataset, num_requests=args.num_requests, seed=args.seed)
+        try:
+            prompt, output = (int(x) for x in spec.lower().split("x"))
+        except ValueError:
+            raise ReproError(
+                f"malformed constant dataset spec {args.dataset!r}: expected "
+                "const:<prompt>x<output> with integer lengths, e.g. const:2000x200"
+            ) from None
+        workload = constant_workload(args.num_requests, prompt, output)
+    else:
+        workload = sample_dataset(
+            args.dataset, num_requests=args.num_requests, seed=args.seed
+        )
+    if args.request_rate < 0:
+        raise ReproError(
+            f"--request-rate must be >= 0 (got {args.request_rate:g}); "
+            "0 runs offline with every request at t=0"
+        )
+    if args.request_rate > 0:
+        workload = make_arrivals(
+            workload,
+            args.arrival,
+            args.request_rate,
+            burstiness=args.burstiness,
+            seed=args.seed,
+        )
+    return workload
 
 
 def _print_result(result: EngineResult) -> None:
     print(result.describe())
+    if result.latency is not None:
+        print(f"latency: {result.latency.describe()}")
     print(comparison_table({result.label: result}))
 
 
@@ -105,13 +151,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
         vllm = vllm_plain
     cp, cd = best_seesaw_pair(model, cluster, workload, simulate_top=3)
     seesaw = SeesawEngine(model, cluster, cp, cd).run(workload)
+    results = {f"vllm {vllm.label}": vllm, f"seesaw {seesaw.label}": seesaw}
     print(
         comparison_table(
-            {f"vllm {vllm.label}": vllm, f"seesaw {seesaw.label}": seesaw},
+            results,
             baseline_key=f"vllm {vllm.label}",
             title=f"{args.model} / {args.dataset} on {cluster.describe()}",
         )
     )
+    if args.request_rate > 0:
+        print()
+        print(latency_table(results, title=f"latency at {args.request_rate:g} req/s"))
     print(f"speedup: {seesaw.throughput_rps / vllm.throughput_rps:.2f}x")
     return 0
 
@@ -178,6 +228,9 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         "fig13": lambda: ex.render_fig13(ex.run_fig13(num_requests=32)),
         "fig14": lambda: ex.render_fig14(ex.run_fig14(num_requests=32)),
         "fig15": lambda: ex.render_fig15(ex.run_fig15()),
+        "latency": lambda: ex.render_latency_sweep(
+            ex.run_latency_sweep(num_requests=40)
+        ),
     }
     if args.artifact not in artifacts:
         print(
@@ -225,7 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.set_defaults(func=cmd_predict)
 
     p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
-    p_repro.add_argument("artifact", help="table1 | fig1 | fig2 | ... | fig15")
+    p_repro.add_argument("artifact", help="table1 | fig1 | ... | fig15 | latency")
     p_repro.set_defaults(func=cmd_reproduce)
 
     return parser

@@ -119,6 +119,7 @@ class SeesawEngine(BaseEngine):
             if guard > 40 * len(requests) + 256:
                 raise SchedulingError("Seesaw phase loop made no progress")
 
+            state.admit_arrivals(now)
             if self._can_prefill(state):
                 now, current = self._reshard(now, current, cp, costs_p, metrics, state)
                 now = self._prefill_phase(state, costs_p, metrics, now)
@@ -133,8 +134,14 @@ class SeesawEngine(BaseEngine):
                     f"CPU pool ({state.cpu.capacity_tokens} tokens) nor GPU KV "
                     f"({state.kv.capacity_tokens} tokens)"
                 )
+            elif state.pending and not state.waiting:
+                # Transition-minimizing under live traffic: with nothing
+                # decodable and nothing arrived, keep the current sharding
+                # and sleep until the next arrival (re-sharding now could
+                # only add a transition the arrival may not need).
+                now = self.idle_advance(state, metrics, now)
 
-        return self.result_from(requests, metrics, now)
+        return self.result_from(requests, metrics, now, finished=state.finished)
 
     # ------------------------------------------------------------------ #
     # Phase predicates and transitions
@@ -198,10 +205,18 @@ class SeesawEngine(BaseEngine):
         last_stage_total = 0.0
         processed_any = False
 
-        while state.waiting:
+        while True:
+            # Prompts that arrived while earlier micro-batches ran join the
+            # same phase — amortizing the upcoming re-shard over them is
+            # exactly transition-minimizing scheduling under live traffic.
+            state.admit_arrivals(now)
+            if not state.waiting:
+                break
             microbatch = self._admit_prefill_microbatch(state)
             if not microbatch:
                 break
+            for seq in microbatch:
+                seq.mark_scheduled(now)
             lens = [s.remaining_prefill for s in microbatch]
             stage = costs.prefill_stage_time(lens)
             last_stage_total = stage.total
@@ -224,6 +239,7 @@ class SeesawEngine(BaseEngine):
             for seq in microbatch:
                 seq.advance_prefill(seq.remaining_prefill)
                 seq.prefill_end_time = now
+                seq.mark_first_token(now)
                 if seq.remaining_decode == 0:
                     # Prefill produced the only requested token; no reason
                     # to park the KV for a decode that will never happen.
@@ -311,6 +327,7 @@ class SeesawEngine(BaseEngine):
         state.h2d.idle_until(now)
 
         while True:
+            state.admit_arrivals(now)
             now = self._launch_prefetches(state, costs, metrics, now)
             for seq in state.arrived_inflight(now):
                 seq.state = SequenceState.RUNNING
@@ -395,6 +412,7 @@ class SeesawEngine(BaseEngine):
         tokens = victim.context_len
         state.kv.free(victim.seq_id)
         state.running.remove(victim)
+        victim.num_preemptions += 1
         if state.cpu.fits(tokens):
             victim.state = SequenceState.PREFILLED_CPU
             state.park_in_cpu(victim, tokens)
@@ -423,7 +441,11 @@ class SeesawEngine(BaseEngine):
         now = 0.0
         current = replace(self.prefill_config, dp=1)
         cp, cd = current, replace(self.decode_config, dp=1)
-        while state.waiting or state.running:
+        while state.has_work:
+            state.admit_arrivals(now)
+            if not state.waiting and not state.running:
+                now = self.idle_advance(state, metrics, now)
+                continue
             now, current = self._reshard(now, current, cp, costs_p, metrics, state)
             admitted: list[Sequence] = []
             while state.waiting and len(admitted) < self.options.max_num_seqs:
@@ -432,6 +454,7 @@ class SeesawEngine(BaseEngine):
                     break
                 state.kv.allocate(seq.seq_id, seq.final_context_len)
                 state.waiting.popleft()
+                seq.mark_scheduled(now)
                 admitted.append(seq)
             if not admitted and not state.running:
                 head = state.waiting[0]
@@ -447,9 +470,10 @@ class SeesawEngine(BaseEngine):
                 seq.advance_prefill(seq.remaining_prefill)
                 seq.state = SequenceState.RUNNING
                 seq.prefill_end_time = now
+                seq.mark_first_token(now)
                 state.running.append(seq)
             state.finish_ready(now)
             now, current = self._reshard(now, current, cd, costs_d, metrics, state)
             while state.running:
                 now = self.decode_step(state, costs_d, metrics, now)
-        return self.result_from(requests, metrics, now)
+        return self.result_from(requests, metrics, now, finished=state.finished)

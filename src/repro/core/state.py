@@ -58,7 +58,8 @@ class SeesawState(ReplicaState):
     @property
     def all_work_done(self) -> bool:
         return (
-            not self.waiting
+            not self.pending
+            and not self.waiting
             and not self.running
             and not self.inflight
             and self.cpu.is_empty

@@ -18,15 +18,16 @@ from repro.costmodel.breakdown import Breakdown
 from repro.costmodel.pipeline import pipeline_time_heterogeneous
 from repro.costmodel.step import ITERATION_OVERHEAD, StepCostModel
 from repro.costmodel.transfer import KVLayout
-from repro.errors import CapacityError, ConfigurationError
+from repro.errors import CapacityError, ConfigurationError, SimulationError
 from repro.hardware.cluster import ClusterSpec
 from repro.models.config import ModelConfig
 from repro.parallel.config import ParallelConfig
 from repro.parallel.memory import kv_capacity_tokens
 from repro.runtime.kvcache import KVCacheManager
+from repro.runtime.latency import LatencyStats
 from repro.runtime.metrics import EngineResult, RunMetrics, merge_dp_results
 from repro.runtime.request import Request, Sequence, SequenceState
-from repro.runtime.trace import DECODE, NullTrace, Trace
+from repro.runtime.trace import DECODE, IDLE, NullTrace, Trace
 from repro.workloads.spec import WorkloadSpec
 
 
@@ -78,17 +79,51 @@ def split_requests(
 
 
 class ReplicaState:
-    """Mutable per-replica scheduling state shared by engine loops."""
+    """Mutable per-replica scheduling state shared by engine loops.
+
+    Requests are arrival-gated: a request sits in :attr:`pending` until the
+    virtual clock reaches its ``arrival_time``, at which point
+    :meth:`admit_arrivals` moves it into :attr:`waiting` where schedulers
+    can see it. Offline workloads (every arrival at 0) drain ``pending``
+    entirely during construction, so schedulers observe exactly the seed's
+    all-at-t=0 queue.
+    """
 
     def __init__(
         self,
         requests: Iterable[Request],
         kv: KVCacheManager,
     ) -> None:
-        self.waiting: deque[Sequence] = deque(Sequence(r) for r in requests)
+        seqs = [Sequence(r) for r in requests]
+        # Stable sort: simultaneous arrivals keep their submission order.
+        seqs.sort(key=lambda s: s.arrival_time)
+        self.pending: deque[Sequence] = deque(seqs)
+        self.waiting: deque[Sequence] = deque()
         self.running: list[Sequence] = []
         self.finished: list[Sequence] = []
         self.kv = kv
+        self.admit_arrivals(0.0)
+
+    def admit_arrivals(self, now: float) -> int:
+        """Move every pending request that has arrived by ``now`` into the
+        waiting queue; returns how many were admitted."""
+        admitted = 0
+        while self.pending and self.pending[0].arrival_time <= now + 1e-12:
+            self.waiting.append(self.pending.popleft())
+            admitted += 1
+        return admitted
+
+    @property
+    def next_arrival_time(self) -> float:
+        """Arrival time of the earliest not-yet-arrived request."""
+        if not self.pending:
+            raise SimulationError("no pending arrivals")
+        return self.pending[0].arrival_time
+
+    @property
+    def has_work(self) -> bool:
+        """Whether any request is pending, admissible, or running."""
+        return bool(self.pending or self.waiting or self.running)
 
     @property
     def decode_context_tokens(self) -> int:
@@ -144,13 +179,17 @@ class BaseEngine(abc.ABC):
         if not requests:
             raise ConfigurationError("cannot run an empty workload")
         parts = split_requests(requests, self.config.dp)
+        # Trace the first non-empty partition (partition 0 can be empty
+        # when there are fewer requests than replicas).
+        trace_part = next((i for i, p in enumerate(parts) if p), None)
         results = []
         for i, part in enumerate(parts):
             if not part:
                 continue
-            self._active_trace = Trace() if (self.options.trace and i == 0) else NullTrace()
+            traced = self.options.trace and i == trace_part
+            self._active_trace = Trace() if traced else NullTrace()
             results.append(self._run_replica(part, replica_id=i))
-            if i == 0:
+            if traced:
                 self.last_trace = self._active_trace
         return merge_dp_results(results, engine=self.name, label=self.label())
 
@@ -200,7 +239,9 @@ class BaseEngine(abc.ABC):
         requests: list[Request],
         metrics: RunMetrics,
         total_time: float,
+        finished: TypingSequence[Sequence] | None = None,
     ) -> EngineResult:
+        latency = LatencyStats.from_sequences(finished) if finished else None
         return EngineResult(
             engine=self.name,
             label=self.label(),
@@ -214,11 +255,27 @@ class BaseEngine(abc.ABC):
             transitions=metrics.transitions,
             swapped_in_tokens=metrics.swapped_in_tokens,
             swapped_out_tokens=metrics.swapped_out_tokens,
+            latency=latency,
         )
 
     # ------------------------------------------------------------------ #
     # Shared step mechanics
     # ------------------------------------------------------------------ #
+
+    def idle_advance(self, state: ReplicaState, metrics: RunMetrics, now: float) -> float:
+        """Jump the virtual clock to the next arrival.
+
+        Called when nothing is admissible and nothing is running — the
+        event-driven equivalent of an engine sleeping on its request queue.
+        The gap is accounted as ``idle`` phase time (it is part of wall
+        clock but not of any compute phase).
+        """
+        target = state.next_arrival_time
+        if target <= now:
+            raise SimulationError("idle_advance with an admissible arrival")
+        self.record_event(IDLE, now, target - now, resident_seqs=len(state.running))
+        metrics.add_phase("idle", target - now)
+        return target
 
     def form_prefill_microbatches(
         self, seqs: TypingSequence[Sequence]
@@ -332,4 +389,5 @@ class BaseEngine(abc.ABC):
         state.kv.free(victim.seq_id)
         state.running.remove(victim)
         victim.preempt_recompute()
+        victim.num_preemptions += 1
         state.waiting.appendleft(victim)

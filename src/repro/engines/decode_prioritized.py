@@ -30,7 +30,11 @@ class DecodePrioritizedEngine(BaseEngine):
         metrics = RunMetrics()
         now = 0.0
 
-        while state.waiting or state.running:
+        while state.has_work:
+            state.admit_arrivals(now)
+            if not state.waiting and not state.running:
+                now = self.idle_advance(state, metrics, now)
+                continue
             batch = self._admit_batch(state)
             if not batch and not state.running:
                 head = state.waiting[0]
@@ -39,6 +43,7 @@ class DecodePrioritizedEngine(BaseEngine):
                     f"capacity is {state.kv.capacity_tokens}"
                 )
             if batch:
+                admit_time = now
                 microbatches = self.form_prefill_microbatches(batch)
                 wall, device = self.prefill_time(costs, microbatches)
                 now += wall
@@ -46,9 +51,11 @@ class DecodePrioritizedEngine(BaseEngine):
                 metrics.iterations += 1
                 metrics.transitions += 1
                 for seq in batch:
+                    seq.mark_scheduled(admit_time)
                     seq.advance_prefill(seq.remaining_prefill)
                     seq.state = SequenceState.RUNNING
                     seq.prefill_end_time = now
+                    seq.mark_first_token(now)
                     state.running.append(seq)
                 state.finish_ready(now)
             # Decode the whole batch to completion before the next prefill.
@@ -56,7 +63,7 @@ class DecodePrioritizedEngine(BaseEngine):
                 now = self.decode_step(state, costs, metrics, now)
             metrics.transitions += 1
 
-        return self.result_from(requests, metrics, now)
+        return self.result_from(requests, metrics, now, finished=state.finished)
 
     def _admit_batch(self, state: ReplicaState) -> list[Sequence]:
         """Admit sequences whose final context length fits entirely."""

@@ -41,16 +41,21 @@ class VllmLikeEngine(BaseEngine):
         guard = 0
         max_iterations = 80 * sum(r.prompt_len + r.output_len for r in requests)
 
-        while state.waiting or state.running:
+        while state.has_work:
             guard += 1
             if guard > max_iterations:
                 raise SchedulingError("scheduler made no progress (livelock guard)")
+            state.admit_arrivals(now)
+            if not state.waiting and not state.running:
+                # Event-driven idle: jump to the next arrival.
+                now = self.idle_advance(state, metrics, now)
+                continue
             if self.options.chunked_prefill:
                 now = self._chunked_iteration(state, costs, metrics, now)
             else:
                 now = self._prefill_prioritized_iteration(state, costs, metrics, now)
 
-        return self.result_from(requests, metrics, now)
+        return self.result_from(requests, metrics, now, finished=state.finished)
 
     # ------------------------------------------------------------------ #
     # Non-chunked: eager prefill, whole prompts
@@ -63,6 +68,7 @@ class VllmLikeEngine(BaseEngine):
         if self._prefill_worthwhile(state):
             admitted = self._admit_prefills(state)
         if admitted:
+            admit_time = now
             microbatches = self.form_prefill_microbatches(admitted)
             wall, device = self.prefill_time(costs, microbatches)
             self.record_event(
@@ -77,9 +83,11 @@ class VllmLikeEngine(BaseEngine):
             metrics.add_phase("prefill", wall, device)
             metrics.iterations += 1
             for seq in admitted:
+                seq.mark_scheduled(admit_time)
                 seq.advance_prefill(seq.remaining_prefill)
                 seq.state = SequenceState.RUNNING
                 seq.prefill_end_time = now
+                seq.mark_first_token(now)
                 state.running.append(seq)
             state.finish_ready(now)  # output_len == 1 finishes at prefill
             return now
@@ -162,6 +170,7 @@ class VllmLikeEngine(BaseEngine):
             if not self._ensure_chunk_space(state, seq, need_tokens):
                 break
             chunk_ctx_weighted += take * seq.prefilled_tokens
+            seq.mark_scheduled(now)
             seq.state = SequenceState.PREFILLING
             seq.advance_prefill(take)
             chunk_tokens += take
@@ -218,6 +227,7 @@ class VllmLikeEngine(BaseEngine):
         for seq in completing:
             seq.state = SequenceState.RUNNING
             seq.prefill_end_time = now
+            seq.mark_first_token(now)
             state.running.append(seq)
         state.finish_ready(now)
         return now

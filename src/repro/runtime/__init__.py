@@ -11,6 +11,7 @@ from repro.runtime.request import Request, Sequence, SequenceState
 from repro.runtime.kvcache import KVCacheManager
 from repro.runtime.cpu_buffer import CPUKVBuffer
 from repro.runtime.channel import TransferChannel
+from repro.runtime.latency import LatencyStats, RequestLatency
 from repro.runtime.metrics import RunMetrics, EngineResult, PhaseTimer
 from repro.runtime.trace import Trace, TraceEvent, NullTrace, render_timeline
 
@@ -21,6 +22,8 @@ __all__ = [
     "KVCacheManager",
     "CPUKVBuffer",
     "TransferChannel",
+    "RequestLatency",
+    "LatencyStats",
     "RunMetrics",
     "EngineResult",
     "PhaseTimer",

@@ -1,0 +1,212 @@
+"""Per-request latency records and aggregate serving statistics.
+
+Offline throughput (the paper's headline metric) collapses a run into one
+number; online serving is judged by the latency each request observed.
+This module holds the two records that carry that information out of the
+engines:
+
+- :class:`RequestLatency` — the timestamps of one request's life cycle
+  (arrival, first schedule, first token, finish) and the standard derived
+  metrics: queue delay, TTFT (time-to-first-token), TPOT (time-per-output-
+  token) and E2E latency.
+- :class:`LatencyStats` — an immutable bag of records with the aggregate
+  views reports need (mean/p50/p90/p99 per metric, SLO attainment) and a
+  merge operation for data-parallel runs.
+
+Engines populate timestamps on :class:`~repro.runtime.request.Sequence`
+as they schedule, and convert finished sequences into records via
+:meth:`RequestLatency.from_sequence`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence as TypingSequence
+
+from repro.errors import SimulationError
+from repro.utils.stats import Summary, summarize
+
+
+@dataclass(frozen=True)
+class RequestLatency:
+    """Life-cycle timestamps and derived latencies of one served request.
+
+    All times are on the engine's virtual clock, in seconds. ``finish_time``
+    is when the last output token was produced; ``first_token_time`` is when
+    the prefill pass that produced the first output token completed.
+    """
+
+    request_id: int
+    arrival_time: float
+    first_schedule_time: float
+    first_token_time: float
+    finish_time: float
+    output_len: int
+    num_preemptions: int = 0
+
+    def __post_init__(self) -> None:
+        stamps = (
+            self.arrival_time,
+            self.first_schedule_time,
+            self.first_token_time,
+            self.finish_time,
+        )
+        if any(math.isnan(t) for t in stamps):
+            raise SimulationError(
+                f"request {self.request_id}: latency record has unset timestamps"
+            )
+        # Each comparison tolerates the admission epsilon: engines admit
+        # arrivals within 1e-12 of the clock, so a stamp can precede the
+        # arrival by that much without the life cycle being wrong.
+        eps = 1e-9
+        if not (
+            self.arrival_time <= self.first_schedule_time + eps
+            and self.first_schedule_time <= self.first_token_time + eps
+            and self.first_token_time <= self.finish_time + eps
+        ):
+            raise SimulationError(
+                f"request {self.request_id}: non-monotone life cycle "
+                f"({self.arrival_time} -> {self.first_schedule_time} -> "
+                f"{self.first_token_time} -> {self.finish_time})"
+            )
+        if self.output_len < 1:
+            raise SimulationError(
+                f"request {self.request_id}: output_len must be >= 1"
+            )
+
+    @classmethod
+    def from_sequence(cls, seq: "object") -> "RequestLatency":
+        """Build a record from a finished engine sequence (duck-typed to
+        avoid a circular import with :mod:`repro.runtime.request`)."""
+        return cls(
+            request_id=seq.seq_id,
+            arrival_time=seq.request.arrival_time,
+            first_schedule_time=seq.first_schedule_time,
+            first_token_time=seq.first_token_time,
+            finish_time=seq.finish_time,
+            output_len=seq.request.output_len,
+            num_preemptions=seq.num_preemptions,
+        )
+
+    @property
+    def queue_delay(self) -> float:
+        """Arrival to first being scheduled (pure queueing). Clamped at 0
+        to absorb the admission epsilon."""
+        return max(0.0, self.first_schedule_time - self.arrival_time)
+
+    @property
+    def ttft(self) -> float:
+        """Arrival to first output token (queueing + prefill)."""
+        return max(0.0, self.first_token_time - self.arrival_time)
+
+    @property
+    def e2e(self) -> float:
+        """Arrival to last output token."""
+        return max(0.0, self.finish_time - self.arrival_time)
+
+    @property
+    def tpot(self) -> float:
+        """Mean inter-token time over the decode phase. A request whose
+        only token came from prefill has no decode phase; its TPOT is 0."""
+        if self.output_len <= 1:
+            return 0.0
+        return max(
+            0.0, (self.finish_time - self.first_token_time) / (self.output_len - 1)
+        )
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Aggregate latency view over a set of request records.
+
+    Holding the raw records (rather than pre-reduced summaries) keeps the
+    data-parallel merge exact: percentiles over the union of replicas are
+    computed from the union, not approximated from per-replica summaries.
+    """
+
+    records: tuple[RequestLatency, ...]
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise SimulationError("LatencyStats needs at least one record")
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------ #
+    # Per-metric summaries (mean / p50 / p90 / p99 via utils.stats)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ttft(self) -> Summary:
+        return summarize([r.ttft for r in self.records])
+
+    @property
+    def tpot(self) -> Summary:
+        return summarize([r.tpot for r in self.records])
+
+    @property
+    def e2e(self) -> Summary:
+        return summarize([r.e2e for r in self.records])
+
+    @property
+    def queue_delay(self) -> Summary:
+        return summarize([r.queue_delay for r in self.records])
+
+    @property
+    def total_preemptions(self) -> int:
+        return sum(r.num_preemptions for r in self.records)
+
+    # ------------------------------------------------------------------ #
+
+    def slo_attainment(
+        self,
+        ttft_slo: float | None = None,
+        tpot_slo: float | None = None,
+        e2e_slo: float | None = None,
+    ) -> float:
+        """Fraction of requests meeting every given SLO (in [0, 1]).
+
+        ``None`` bounds are not enforced; with no bounds at all, attainment
+        is trivially 1.0.
+        """
+        for name, slo in (("ttft", ttft_slo), ("tpot", tpot_slo), ("e2e", e2e_slo)):
+            if slo is not None and slo <= 0:
+                raise SimulationError(f"{name} SLO must be positive")
+        met = 0
+        for r in self.records:
+            if ttft_slo is not None and r.ttft > ttft_slo:
+                continue
+            if tpot_slo is not None and r.tpot > tpot_slo:
+                continue
+            if e2e_slo is not None and r.e2e > e2e_slo:
+                continue
+            met += 1
+        return met / len(self.records)
+
+    @classmethod
+    def from_sequences(cls, seqs: Iterable[object]) -> "LatencyStats":
+        """Records from finished engine sequences."""
+        return cls(records=tuple(RequestLatency.from_sequence(s) for s in seqs))
+
+    @classmethod
+    def merged(cls, parts: TypingSequence["LatencyStats"]) -> "LatencyStats":
+        """Exact union of several replicas' records (DP merge)."""
+        if not parts:
+            raise SimulationError("no latency stats to merge")
+        records: list[RequestLatency] = []
+        for p in parts:
+            records.extend(p.records)
+        records.sort(key=lambda r: r.request_id)
+        return cls(records=tuple(records))
+
+    def describe(self) -> str:
+        t, p, e, q = self.ttft, self.tpot, self.e2e, self.queue_delay
+        return (
+            f"ttft p50={t.p50:.3f}s p99={t.p99:.3f}s | "
+            f"tpot p50={p.p50 * 1e3:.1f}ms p99={p.p99 * 1e3:.1f}ms | "
+            f"e2e p50={e.p50:.3f}s p99={e.p99:.3f}s | "
+            f"queue mean={q.mean:.3f}s"
+        )

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.costmodel.breakdown import Breakdown
 from repro.errors import SimulationError
+from repro.runtime.latency import LatencyStats
 
 
 @dataclass
@@ -69,6 +70,9 @@ class EngineResult:
     transitions: int
     swapped_in_tokens: int = 0
     swapped_out_tokens: int = 0
+    # Per-request latency statistics (None for purely analytic results
+    # that never simulated individual requests).
+    latency: LatencyStats | None = None
 
     def __post_init__(self) -> None:
         if self.total_time <= 0:
@@ -106,8 +110,17 @@ class EngineResult:
 def merge_dp_results(results: list[EngineResult], engine: str, label: str) -> EngineResult:
     """Combine per-replica results of a data-parallel run.
 
-    Replicas run concurrently on disjoint request partitions, so wall time
-    is the slowest replica and counts add up.
+    Replicas run concurrently on disjoint request partitions, so *wall*
+    quantities take the slowest replica while *work* quantities add up:
+
+    - ``total_time`` and each ``phase_time`` entry are per-replica wall
+      clocks and merge with ``max`` (phase time of the merged run is the
+      longest any replica spent in that phase — replicas overlap, so
+      summing would double-count wall time);
+    - ``iterations``, tokens, swap counters and latency records are work
+      performed and merge with ``sum``/union;
+    - ``transitions`` are lock-step re-shards of the whole replica group
+      (Seesaw re-shards every GPU at once), so they merge with ``max``.
     """
     if not results:
         raise SimulationError("no replica results to merge")
@@ -119,6 +132,7 @@ def merge_dp_results(results: list[EngineResult], engine: str, label: str) -> En
     bd = results[0].breakdown
     for r in results[1:]:
         bd = bd + r.breakdown
+    latencies = [r.latency for r in results if r.latency is not None]
     return EngineResult(
         engine=engine,
         label=label,
@@ -128,8 +142,9 @@ def merge_dp_results(results: list[EngineResult], engine: str, label: str) -> En
         output_tokens=sum(r.output_tokens for r in results),
         phase_time=phase,
         breakdown=bd,
-        iterations=max(r.iterations for r in results),
+        iterations=sum(r.iterations for r in results),
         transitions=max(r.transitions for r in results),
         swapped_in_tokens=sum(r.swapped_in_tokens for r in results),
         swapped_out_tokens=sum(r.swapped_out_tokens for r in results),
+        latency=LatencyStats.merged(latencies) if latencies else None,
     )

@@ -19,6 +19,7 @@ engines go straight from prefill to RUNNING.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -73,6 +74,12 @@ class Sequence:
     prefill_target: int = field(default=-1)
     prefill_end_time: float = field(default=float("nan"))
     finish_time: float = field(default=float("nan"))
+    # Online-serving timestamps: when the scheduler first touched this
+    # sequence and when its first output token was produced. Both are
+    # sticky (set once) so recompute preemptions don't rewrite history.
+    first_schedule_time: float = field(default=float("nan"))
+    first_token_time: float = field(default=float("nan"))
+    num_preemptions: int = 0
 
     def __post_init__(self) -> None:
         if self.prefill_target < 0:
@@ -81,6 +88,10 @@ class Sequence:
     @property
     def seq_id(self) -> int:
         return self.request.request_id
+
+    @property
+    def arrival_time(self) -> float:
+        return self.request.arrival_time
 
     @property
     def prompt_len(self) -> int:
@@ -134,9 +145,27 @@ class Sequence:
         """Record one generated token."""
         self.generated_tokens += 1
 
+    def mark_scheduled(self, now: float) -> None:
+        """Record the first time the scheduler admitted this sequence.
+
+        Sticky: later admissions (after preemption) do not move it, so
+        queue delay measures arrival to *first* service.
+        """
+        if math.isnan(self.first_schedule_time):
+            self.first_schedule_time = now
+
+    def mark_first_token(self, now: float) -> None:
+        """Record the first output token (end of the producing prefill
+        pass). Sticky across recompute preemptions."""
+        if math.isnan(self.first_token_time):
+            self.first_token_time = now
+
     def mark_finished(self, now: float) -> None:
         self.state = SequenceState.FINISHED
         self.finish_time = now
+        # A request whose only token came from prefill finishes without a
+        # separate first-token event; backfill so latency records close.
+        self.mark_first_token(now)
 
     def preempt_recompute(self) -> None:
         """Drop cached KV for recompute-style preemption: the next prefill

@@ -26,8 +26,9 @@ RESHARD = "reshard"
 SWAP_IN = "swap_in"
 SWAP_OUT = "swap_out"
 STALL = "stall"
+IDLE = "idle"  # event-driven serving: clock jumped to the next arrival
 
-_KINDS = {PREFILL, DECODE, MIXED, RESHARD, SWAP_IN, SWAP_OUT, STALL}
+_KINDS = {PREFILL, DECODE, MIXED, RESHARD, SWAP_IN, SWAP_OUT, STALL, IDLE}
 
 
 @dataclass(frozen=True)

@@ -11,6 +11,14 @@ is the operative property.
 
 from repro.workloads.spec import WorkloadSpec, workload_stats, WorkloadStats
 from repro.workloads.synthetic import constant_workload, uniform_workload, ratio_workload
+from repro.workloads.arrivals import (
+    ARRIVAL_KINDS,
+    bursty_arrivals,
+    make_arrivals,
+    offered_rate,
+    poisson_arrivals,
+    stamp_arrivals,
+)
 from repro.workloads.datasets import (
     sharegpt_workload,
     arxiv_workload,
@@ -25,6 +33,12 @@ __all__ = [
     "constant_workload",
     "uniform_workload",
     "ratio_workload",
+    "ARRIVAL_KINDS",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "make_arrivals",
+    "stamp_arrivals",
+    "offered_rate",
     "sharegpt_workload",
     "arxiv_workload",
     "DATASET_SAMPLERS",

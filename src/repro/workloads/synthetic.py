@@ -8,8 +8,6 @@ building blocks used throughout the tests.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.errors import ConfigurationError
 from repro.runtime.request import Request
 from repro.utils.rng import make_rng
@@ -88,22 +86,9 @@ def poisson_arrival_workload(
 ) -> WorkloadSpec:
     """Attach Poisson arrival times to an existing workload.
 
-    Offline throughput runs assume all requests available at t=0; this
-    helper exists for the (non-headline) experiments that study behaviour
-    under an arrival process.
+    Kept as an alias of :func:`repro.workloads.arrivals.poisson_arrivals`
+    for callers that predate the arrivals module.
     """
-    if rate_rps <= 0:
-        raise ConfigurationError("arrival rate must be positive")
-    rng = make_rng(seed)
-    gaps = rng.exponential(1.0 / rate_rps, size=len(base.requests))
-    arrivals = np.cumsum(gaps)
-    reqs = tuple(
-        Request(
-            request_id=r.request_id,
-            prompt_len=r.prompt_len,
-            output_len=r.output_len,
-            arrival_time=float(t),
-        )
-        for r, t in zip(base.requests, arrivals)
-    )
-    return WorkloadSpec(name=f"{base.name}+poisson({rate_rps:g}rps)", requests=reqs)
+    from repro.workloads.arrivals import poisson_arrivals
+
+    return poisson_arrivals(base, rate_rps, seed=seed)

@@ -1,0 +1,98 @@
+"""Golden offline totals captured from the seed revision.
+
+These numbers were recorded by running the seed engines (all arrival
+times at 0) on the fixed scenarios in ``scenarios()``; the event-driven
+refactor must reproduce them exactly. Regenerate with::
+
+    PYTHONPATH=src:tests python -m golden_offline
+
+only when an intentional cost-model change invalidates them.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import SeesawEngine
+from repro.engines.decode_prioritized import DecodePrioritizedEngine
+from repro.engines.disaggregated import DisaggregatedEngine, DisaggregationPlan
+from repro.engines.vllm_like import VllmLikeEngine
+from repro.engines.base import EngineOptions
+from repro.hardware.cluster import make_cluster
+from repro.models.config import ModelConfig
+from repro.models.registry import get_model
+from repro.parallel.config import parse_config
+from repro.workloads.datasets import sharegpt_workload
+from repro.workloads.synthetic import constant_workload
+
+
+def _tiny_model() -> ModelConfig:
+    return ModelConfig(
+        name="tiny-2b",
+        num_layers=16,
+        hidden_size=2048,
+        num_heads=16,
+        num_kv_heads=4,
+        intermediate_size=5504,
+        vocab_size=32000,
+    )
+
+
+def scenarios() -> dict[str, object]:
+    """Engine runs covering all four engines (plus DP and chunked paths)."""
+    tiny = _tiny_model()
+    m34 = get_model("34b")
+    a10_4 = make_cluster("A10", 4)
+    a10_8 = make_cluster("A10", 8)
+    const = constant_workload(16, 256, 32)
+    chat = sharegpt_workload(40, seed=7)
+
+    def vllm_plain():
+        return VllmLikeEngine(tiny, a10_4, parse_config("T2P2")).run(const)
+
+    def vllm_chunked():
+        opts = EngineOptions(chunked_prefill=True, chunk_size=512)
+        return VllmLikeEngine(tiny, a10_4, parse_config("T2P2"), opts).run(chat)
+
+    def vllm_dp():
+        return VllmLikeEngine(tiny, a10_4, parse_config("D2T2")).run(chat)
+
+    def decode_prio():
+        return DecodePrioritizedEngine(tiny, a10_4, parse_config("T4")).run(chat)
+
+    def seesaw():
+        return SeesawEngine(
+            m34, a10_8, parse_config("P8"), parse_config("T4P2")
+        ).run(sharegpt_workload(30, seed=7))
+
+    def disagg():
+        plan = DisaggregationPlan(
+            prefill_config=parse_config("T2"), decode_config=parse_config("T2")
+        )
+        return DisaggregatedEngine(tiny, a10_4, plan).run(const)
+
+    return {
+        "vllm_plain": vllm_plain,
+        "vllm_chunked": vllm_chunked,
+        "vllm_dp": vllm_dp,
+        "decode_prio": decode_prio,
+        "seesaw": seesaw,
+        "disagg": disagg,
+    }
+
+
+def capture() -> dict[str, dict[str, object]]:
+    out: dict[str, dict[str, object]] = {}
+    for name, fn in scenarios().items():
+        r = fn()
+        out[name] = {
+            "total_time": r.total_time,
+            "phase_time": dict(sorted(r.phase_time.items())),
+            "transitions": r.transitions,
+            "output_tokens": r.output_tokens,
+        }
+    return out
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(capture(), indent=2, sort_keys=True))

@@ -1,0 +1,107 @@
+"""Arrival processes: determinism, target rates, burstiness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.arrivals import (
+    bursty_arrivals,
+    make_arrivals,
+    offered_rate,
+    poisson_arrivals,
+    stamp_arrivals,
+)
+from repro.workloads.synthetic import constant_workload, poisson_arrival_workload
+
+
+def base(n=400):
+    return constant_workload(n, prompt_len=100, output_len=10)
+
+
+def gaps(workload):
+    arrivals = np.array([r.arrival_time for r in workload.requests])
+    return np.diff(np.concatenate([[0.0], arrivals]))
+
+
+class TestStamping:
+    def test_preserves_lengths_and_order(self):
+        wl = poisson_arrivals(base(50), 10.0, seed=1)
+        for orig, stamped in zip(base(50).requests, wl.requests):
+            assert stamped.request_id == orig.request_id
+            assert stamped.prompt_len == orig.prompt_len
+            assert stamped.output_len == orig.output_len
+        arrivals = [r.arrival_time for r in wl.requests]
+        assert arrivals == sorted(arrivals)
+        assert all(t > 0 for t in arrivals)
+
+    def test_stamp_arrivals_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            stamp_arrivals(base(5), [1.0, 2.0])
+
+    def test_explicit_stamp(self):
+        wl = stamp_arrivals(base(3), [0.0, 1.0, 2.5])
+        assert [r.arrival_time for r in wl.requests] == [0.0, 1.0, 2.5]
+
+
+class TestPoisson:
+    def test_deterministic_per_seed(self):
+        a = poisson_arrivals(base(), 5.0, seed=42)
+        b = poisson_arrivals(base(), 5.0, seed=42)
+        c = poisson_arrivals(base(), 5.0, seed=43)
+        assert [r.arrival_time for r in a.requests] == [
+            r.arrival_time for r in b.requests
+        ]
+        assert [r.arrival_time for r in a.requests] != [
+            r.arrival_time for r in c.requests
+        ]
+
+    def test_hits_target_rate(self):
+        wl = poisson_arrivals(base(2000), 8.0, seed=0)
+        assert offered_rate(wl) == pytest.approx(8.0, rel=0.1)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(base(), 0.0)
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(base(), -3.0)
+
+    def test_legacy_alias_matches(self):
+        via_alias = poisson_arrival_workload(base(), 5.0, seed=9)
+        direct = poisson_arrivals(base(), 5.0, seed=9)
+        assert [r.arrival_time for r in via_alias.requests] == [
+            r.arrival_time for r in direct.requests
+        ]
+
+
+class TestBursty:
+    def test_hits_target_rate(self):
+        wl = bursty_arrivals(base(4000), 8.0, burstiness=4.0, seed=0)
+        assert offered_rate(wl) == pytest.approx(8.0, rel=0.15)
+
+    def test_burstier_than_poisson(self):
+        """Gamma gaps with cv^2=6 must show more gap variability than
+        exponential gaps at the same mean rate."""
+        p = gaps(poisson_arrivals(base(3000), 10.0, seed=5))
+        b = gaps(bursty_arrivals(base(3000), 10.0, burstiness=6.0, seed=5))
+        cv2 = lambda g: g.var() / g.mean() ** 2
+        assert cv2(b) > 2 * cv2(p)
+
+    def test_burstiness_one_is_poisson_shaped(self):
+        g = gaps(bursty_arrivals(base(3000), 10.0, burstiness=1.0, seed=5))
+        assert g.var() / g.mean() ** 2 == pytest.approx(1.0, rel=0.2)
+
+    def test_invalid_burstiness(self):
+        with pytest.raises(ConfigurationError):
+            bursty_arrivals(base(), 5.0, burstiness=0.0)
+
+
+class TestDispatch:
+    def test_make_arrivals_kinds(self):
+        assert "poisson" in make_arrivals(base(), "poisson", 5.0).name
+        assert "bursty" in make_arrivals(base(), "bursty", 5.0).name
+        with pytest.raises(ConfigurationError):
+            make_arrivals(base(), "uniform", 5.0)
+
+    def test_offered_rate_rejects_offline(self):
+        with pytest.raises(ConfigurationError):
+            offered_rate(base())

@@ -132,3 +132,97 @@ class TestCommands:
         )
         assert rc == 0
         assert "speedup:" in capsys.readouterr().out
+
+
+class TestOnlineFlags:
+    def test_run_with_request_rate_prints_latency(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--dataset",
+                "const:256x16",
+                "--num-requests",
+                "8",
+                "--config",
+                "T4P2",
+                "--request-rate",
+                "2.0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latency:" in out and "ttft" in out
+        assert "ttft-p50(s)" in out  # latency columns in the table
+
+    def test_run_bursty_arrival(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--dataset",
+                "const:256x16",
+                "--num-requests",
+                "8",
+                "--config",
+                "T4P2",
+                "--request-rate",
+                "2.0",
+                "--arrival",
+                "bursty",
+                "--burstiness",
+                "6.0",
+            ]
+        )
+        assert rc == 0
+        assert "latency:" in capsys.readouterr().out
+
+    def test_offline_run_still_reports_latency(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--dataset",
+                "const:256x16",
+                "--num-requests",
+                "8",
+                "--config",
+                "T4P2",
+            ]
+        )
+        assert rc == 0
+        assert "ttft" in capsys.readouterr().out
+
+    def test_malformed_const_spec_is_repro_error(self, capsys):
+        rc = main(["run", "--dataset", "const:axb", "--num-requests", "2"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "const:<prompt>x<output>" in err
+
+    def test_arrival_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--arrival", "uniform"])
+
+    def test_negative_request_rate_rejected(self, capsys):
+        rc = main(
+            ["run", "--dataset", "const:256x16", "--num-requests", "2", "--request-rate", "-1"]
+        )
+        assert rc == 1
+        assert "--request-rate" in capsys.readouterr().err
+
+    def test_compare_online_prints_latency_table(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--model",
+                "15b",
+                "--num-gpus",
+                "4",
+                "--dataset",
+                "const:512x64",
+                "--num-requests",
+                "12",
+                "--request-rate",
+                "1.0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup:" in out and "ttft-p90" in out

@@ -110,3 +110,18 @@ class TestFig15:
         assert not r.row("TP1DP8").fits
         assert r.row("TP8DP1").max_batch > r.row("TP4DP2").max_batch
         assert "Figure 15" in render_fig15(r)
+
+
+class TestLatencySweep:
+    def test_runs_and_trends(self):
+        from repro.experiments import render_latency_sweep, run_latency_sweep
+
+        r = run_latency_sweep(num_requests=16, rates=(0.05, 0.2))
+        assert len(r.points) == 2
+        for p in r.points:
+            assert p.static.latency is not None
+            assert p.seesaw.latency is not None
+            assert p.static.latency.ttft.p99 > 0
+        out = render_latency_sweep(r)
+        assert "Load-latency sweep" in out and "ttft-p99" in out
+        assert len(r.ttft_p99("seesaw")) == 2

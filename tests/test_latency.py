@@ -1,0 +1,129 @@
+"""Per-request latency records and aggregate statistics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.latency import LatencyStats, RequestLatency
+from repro.runtime.request import Request, Sequence
+
+
+def rec(
+    rid=0,
+    arrival=0.0,
+    sched=1.0,
+    first=2.0,
+    finish=6.0,
+    out=5,
+    preempts=0,
+) -> RequestLatency:
+    return RequestLatency(
+        request_id=rid,
+        arrival_time=arrival,
+        first_schedule_time=sched,
+        first_token_time=first,
+        finish_time=finish,
+        output_len=out,
+        num_preemptions=preempts,
+    )
+
+
+class TestRequestLatency:
+    def test_derived_metrics_hand_computed(self):
+        r = rec(arrival=1.0, sched=1.5, first=3.0, finish=7.0, out=5)
+        assert r.queue_delay == pytest.approx(0.5)
+        assert r.ttft == pytest.approx(2.0)
+        assert r.e2e == pytest.approx(6.0)
+        # 4 decode tokens over 4 seconds.
+        assert r.tpot == pytest.approx(1.0)
+
+    def test_single_token_request_has_zero_tpot(self):
+        r = rec(first=2.0, finish=2.0, out=1)
+        assert r.tpot == 0.0
+        assert r.ttft == pytest.approx(2.0)
+
+    def test_rejects_unset_timestamps(self):
+        with pytest.raises(SimulationError):
+            rec(finish=float("nan"))
+
+    def test_rejects_non_monotone_lifecycle(self):
+        with pytest.raises(SimulationError):
+            rec(arrival=5.0, sched=1.0)
+
+    def test_from_sequence(self):
+        seq = Sequence(Request(request_id=7, prompt_len=10, output_len=3, arrival_time=2.0))
+        seq.mark_scheduled(3.0)
+        seq.mark_first_token(4.0)
+        seq.mark_finished(6.0)
+        r = RequestLatency.from_sequence(seq)
+        assert r.request_id == 7
+        assert r.queue_delay == pytest.approx(1.0)
+        assert r.ttft == pytest.approx(2.0)
+        assert r.tpot == pytest.approx(1.0)
+
+    def test_sticky_marks_survive_preemption(self):
+        seq = Sequence(Request(request_id=0, prompt_len=10, output_len=4, arrival_time=0.0))
+        seq.mark_scheduled(1.0)
+        seq.mark_first_token(2.0)
+        seq.preempt_recompute()
+        seq.num_preemptions += 1
+        seq.mark_scheduled(9.0)  # re-admission must not move the stamp
+        seq.mark_first_token(10.0)
+        seq.mark_finished(12.0)
+        r = RequestLatency.from_sequence(seq)
+        assert r.first_schedule_time == pytest.approx(1.0)
+        assert r.first_token_time == pytest.approx(2.0)
+        assert r.num_preemptions == 1
+
+    def test_finish_backfills_first_token(self):
+        seq = Sequence(Request(request_id=0, prompt_len=10, output_len=1))
+        seq.mark_scheduled(0.5)
+        seq.mark_finished(1.5)
+        assert seq.first_token_time == pytest.approx(1.5)
+
+
+class TestLatencyStats:
+    def stats(self) -> LatencyStats:
+        # TTFTs 1, 2, 3; TPOTs 0.25, 0.5, 0.75 (4 decode tokens each).
+        return LatencyStats(
+            records=tuple(
+                rec(rid=i, sched=float(i + 1), first=float(i + 1), finish=float(i + 1) + (i + 1), out=5)
+                for i in range(3)
+            )
+        )
+
+    def test_percentiles_hand_computed(self):
+        s = self.stats()
+        assert s.num_requests == 3
+        assert s.ttft.p50 == pytest.approx(2.0)
+        assert s.ttft.mean == pytest.approx(2.0)
+        assert s.ttft.p99 == pytest.approx(2.98)
+        assert s.tpot.p50 == pytest.approx(0.5)
+        assert s.e2e.p50 == pytest.approx(4.0)
+        assert s.queue_delay.mean == pytest.approx(2.0)
+
+    def test_slo_attainment(self):
+        s = self.stats()
+        assert s.slo_attainment() == 1.0
+        assert s.slo_attainment(ttft_slo=2.5) == pytest.approx(2 / 3)
+        assert s.slo_attainment(ttft_slo=2.5, tpot_slo=0.3) == pytest.approx(1 / 3)
+        assert s.slo_attainment(e2e_slo=0.1) == 0.0
+        with pytest.raises(SimulationError):
+            s.slo_attainment(ttft_slo=-1.0)
+
+    def test_merge_is_exact_union(self):
+        a = LatencyStats(records=(rec(rid=0, first=1.0, finish=5.0),))
+        b = LatencyStats(records=(rec(rid=1, first=9.0, finish=13.0),))
+        m = LatencyStats.merged([a, b])
+        assert m.num_requests == 2
+        # Percentiles over the union, not an average of summaries.
+        assert m.ttft.p50 == pytest.approx(5.0)
+        with pytest.raises(SimulationError):
+            LatencyStats.merged([])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencyStats(records=())
+
+    def test_describe_mentions_metrics(self):
+        out = self.stats().describe()
+        assert "ttft" in out and "tpot" in out and "e2e" in out
