@@ -13,7 +13,6 @@ Run:
     python examples/capacity_planning.py
 """
 
-from repro import get_model, make_cluster
 from repro.experiments.fig4_disagg import render_fig4, run_fig4
 from repro.experiments.fig13_dp_ratio import render_fig13, run_fig13
 from repro.experiments.fig14_bandwidth import render_fig14, run_fig14

@@ -45,7 +45,9 @@ def comparison_table(
     """Tabulate runs: throughput, tokens/s, phase times, normalized column.
 
     When any run carries per-request latency statistics, TTFT/TPOT
-    percentile columns are appended (blank for runs without them).
+    percentile columns are appended (blank for runs without them); when
+    any run routed across multiple replicas, a dispatched-token imbalance
+    column (max/mean, 1.00 = perfectly balanced) is appended too.
     """
     keys = list(results.keys())
     base = (
@@ -54,9 +56,15 @@ def comparison_table(
         else max(r.throughput_rps for r in results.values())
     )
     with_latency = any(r.latency is not None for r in results.values())
+    with_routing = any(
+        r.router is not None and r.router.num_replicas > 1
+        for r in results.values()
+    )
     headers = ["run", "req/s", "norm", "out-tok/s", "time(s)", "transitions"]
     if with_latency:
         headers += ["ttft-p50(s)", "ttft-p99(s)", "tpot-p50(ms)"]
+    if with_routing:
+        headers += ["router", "tok-imbal"]
     rows = []
     for k in keys:
         r = results[k]
@@ -77,7 +85,58 @@ def comparison_table(
                 ]
             else:
                 row += ["-", "-", "-"]
+        if with_routing:
+            if r.router is not None and r.router.num_replicas > 1:
+                row += [r.router.policy, f"{r.router.token_imbalance:.2f}"]
+            else:
+                row += ["-", "-"]
         rows.append(row)
+    return ascii_table(headers, rows, title=title)
+
+
+def routing_table(
+    results: Mapping[str, EngineResult],
+    title: str | None = None,
+) -> str:
+    """Per-run replica load-imbalance detail from the routing subsystem.
+
+    Columns: dispatch policy, replica count, per-replica dispatched-token
+    spread (min/mean/max), dispatched-token and peak-queued-prefill
+    imbalance ratios (max/mean; 1.00 = perfectly balanced), predicted
+    preemptions, and how many pending requests storm rebalances moved.
+    Runs without multi-replica routing stats are skipped; raises if none
+    have any.
+    """
+    rows = []
+    for k, r in results.items():
+        stats = r.router
+        if stats is None or stats.num_replicas <= 1:
+            continue
+        tokens = stats.tokens_per_replica
+        rows.append(
+            [
+                k,
+                stats.policy,
+                str(stats.num_replicas),
+                f"{min(tokens)}/{sum(tokens) / len(tokens):.0f}/{max(tokens)}",
+                f"{stats.token_imbalance:.2f}",
+                f"{stats.peak_queue_imbalance:.2f}",
+                str(stats.total_predicted_preemptions),
+                str(stats.rebalanced_requests),
+            ]
+        )
+    if not rows:
+        raise ConfigurationError("no results carry multi-replica router stats")
+    headers = [
+        "run",
+        "policy",
+        "replicas",
+        "tokens min/mean/max",
+        "tok-imbal",
+        "queue-imbal",
+        "pred-preempt",
+        "rebalanced",
+    ]
     return ascii_table(headers, rows, title=title)
 
 

@@ -17,7 +17,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.analysis.report import comparison_table, latency_table
+from repro.analysis.report import comparison_table, latency_table, routing_table
 from repro.autotuner.search import (
     best_seesaw_pair,
     best_static_config,
@@ -31,9 +31,10 @@ from repro.errors import ReproError
 from repro.hardware.cluster import make_cluster
 from repro.models.registry import get_model
 from repro.parallel.config import parse_config, parse_transition
+from repro.routing import ROUTER_POLICIES
 from repro.runtime.metrics import EngineResult
 from repro.runtime.trace import render_timeline
-from repro.workloads.arrivals import ARRIVAL_KINDS, make_arrivals
+from repro.workloads.arrivals import ARRIVAL_KINDS, TRACE_PREFIX, make_arrivals
 from repro.workloads.datasets import sample_dataset
 from repro.workloads.synthetic import constant_workload
 
@@ -58,9 +59,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--arrival",
-        choices=list(ARRIVAL_KINDS),
+        type=_arrival_kind,
         default="poisson",
-        help="arrival process used when --request-rate > 0",
+        help="arrival process used when --request-rate > 0 "
+        f"({' | '.join(ARRIVAL_KINDS)}), or {TRACE_PREFIX}<path> to replay "
+        "a JSON/CSV timestamp log (ignores --request-rate)",
     )
     parser.add_argument(
         "--burstiness",
@@ -68,6 +71,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=4.0,
         help="squared coefficient of variation of bursty inter-arrival "
         "gaps (1.0 = Poisson); only used with --arrival bursty",
+    )
+    parser.add_argument(
+        "--router",
+        choices=list(ROUTER_POLICIES),
+        default="static",
+        help="multi-replica dispatch policy (default static, the seed's "
+        "round-robin t=0 deal; jsq / least-work / po2 dispatch at arrival "
+        "time against tracked replica load)",
+    )
+
+
+def _arrival_kind(value: str) -> str:
+    """argparse type for --arrival: a named process or trace:<path>."""
+    if value in ARRIVAL_KINDS or value.startswith(TRACE_PREFIX):
+        return value
+    raise argparse.ArgumentTypeError(
+        f"must be one of {', '.join(ARRIVAL_KINDS)} or {TRACE_PREFIX}<path>"
     )
 
 
@@ -91,7 +111,9 @@ def _make_workload(args: argparse.Namespace):
             f"--request-rate must be >= 0 (got {args.request_rate:g}); "
             "0 runs offline with every request at t=0"
         )
-    if args.request_rate > 0:
+    if args.arrival.startswith(TRACE_PREFIX):
+        workload = make_arrivals(workload, args.arrival)
+    elif args.request_rate > 0:
         workload = make_arrivals(
             workload,
             args.arrival,
@@ -106,6 +128,8 @@ def _print_result(result: EngineResult) -> None:
     print(result.describe())
     if result.latency is not None:
         print(f"latency: {result.latency.describe()}")
+    if result.router is not None and result.router.num_replicas > 1:
+        print(f"routing: {result.router.describe()}")
     print(comparison_table({result.label: result}))
 
 
@@ -114,14 +138,22 @@ def cmd_run(args: argparse.Namespace) -> int:
     cluster = make_cluster(args.gpu, args.num_gpus)
     workload = _make_workload(args)
     options = EngineOptions(
-        chunked_prefill=args.chunked, chunk_size=args.chunk_size, trace=args.timeline
+        chunked_prefill=args.chunked,
+        chunk_size=args.chunk_size,
+        trace=args.timeline,
+        router=args.router,
+        router_seed=args.seed,
     )
     if "->" in args.config:
         from repro.core.options import SeesawOptions
 
         cp, cd = parse_transition(args.config)
         seesaw_opts = SeesawOptions(
-            chunked_prefill=False, chunk_size=args.chunk_size, trace=args.timeline
+            chunked_prefill=False,
+            chunk_size=args.chunk_size,
+            trace=args.timeline,
+            router=args.router,
+            router_seed=args.seed,
         )
         engine = SeesawEngine(model, cluster, cp, cd, seesaw_opts)
     else:
@@ -140,17 +172,24 @@ def cmd_compare(args: argparse.Namespace) -> int:
     workload = _make_workload(args)
     static_cfg = best_static_config(model, cluster, workload, simulate_top=3)
     chunk = tune_chunk_size(model, cluster, static_cfg, workload)
+    from repro.core.options import SeesawOptions
+
+    router_opts = dict(router=args.router, router_seed=args.seed)
     vllm = VllmLikeEngine(
         model,
         cluster,
         static_cfg,
-        EngineOptions(chunked_prefill=True, chunk_size=chunk),
+        EngineOptions(chunked_prefill=True, chunk_size=chunk, **router_opts),
     ).run(workload)
-    vllm_plain = VllmLikeEngine(model, cluster, static_cfg).run(workload)
+    vllm_plain = VllmLikeEngine(
+        model, cluster, static_cfg, EngineOptions(**router_opts)
+    ).run(workload)
     if vllm_plain.throughput_rps > vllm.throughput_rps:
         vllm = vllm_plain
     cp, cd = best_seesaw_pair(model, cluster, workload, simulate_top=3)
-    seesaw = SeesawEngine(model, cluster, cp, cd).run(workload)
+    seesaw = SeesawEngine(
+        model, cluster, cp, cd, SeesawOptions(**router_opts)
+    ).run(workload)
     results = {f"vllm {vllm.label}": vllm, f"seesaw {seesaw.label}": seesaw}
     print(
         comparison_table(
@@ -159,9 +198,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
             title=f"{args.model} / {args.dataset} on {cluster.describe()}",
         )
     )
-    if args.request_rate > 0:
+    if args.arrival.startswith(TRACE_PREFIX):
+        print()
+        print(latency_table(results, title=f"latency under {args.arrival}"))
+    elif args.request_rate > 0:
         print()
         print(latency_table(results, title=f"latency at {args.request_rate:g} req/s"))
+    if any(
+        r.router is not None and r.router.num_replicas > 1 for r in results.values()
+    ):
+        print()
+        print(routing_table(results, title=f"replica load ({args.router} router)"))
     print(f"speedup: {seesaw.throughput_rps / vllm.throughput_rps:.2f}x")
     return 0
 
@@ -170,12 +217,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     model = get_model(args.model)
     cluster = make_cluster(args.gpu, args.num_gpus)
     workload = _make_workload(args)
+    from repro.core.options import SeesawOptions
+
     results: dict[str, EngineResult] = {}
+    opts = EngineOptions(router=args.router, router_seed=args.seed)
     for ranked in rank_static_configs(model, cluster, workload):
-        engine = VllmLikeEngine(model, cluster, ranked.config)
+        engine = VllmLikeEngine(model, cluster, ranked.config, opts)
         results[ranked.config.label()] = engine.run(workload)
     cp, cd = best_seesaw_pair(model, cluster, workload, simulate_top=3)
-    seesaw = SeesawEngine(model, cluster, cp, cd).run(workload)
+    seesaw = SeesawEngine(
+        model, cluster, cp, cd, SeesawOptions(router=args.router, router_seed=args.seed)
+    ).run(workload)
     results[f"seesaw {seesaw.label}"] = seesaw
     best_static = max(
         (k for k in results if not k.startswith("seesaw")),
@@ -231,6 +283,9 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         "latency": lambda: ex.render_latency_sweep(
             ex.run_latency_sweep(num_requests=40)
         ),
+        "routing": lambda: ex.render_routing_sweep(
+            ex.run_routing_sweep(num_requests=48)
+        ),
     }
     if args.artifact not in artifacts:
         print(
@@ -278,7 +333,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.set_defaults(func=cmd_predict)
 
     p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
-    p_repro.add_argument("artifact", help="table1 | fig1 | ... | fig15 | latency")
+    p_repro.add_argument(
+        "artifact", help="table1 | fig1 | ... | fig15 | latency | routing"
+    )
     p_repro.set_defaults(func=cmd_reproduce)
 
     return parser

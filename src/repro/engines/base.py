@@ -23,10 +23,11 @@ from repro.hardware.cluster import ClusterSpec
 from repro.models.config import ModelConfig
 from repro.parallel.config import ParallelConfig
 from repro.parallel.memory import kv_capacity_tokens
+from repro.routing import ROUTER_POLICIES, Router, RouterContext, make_router
 from repro.runtime.kvcache import KVCacheManager
 from repro.runtime.latency import LatencyStats
 from repro.runtime.metrics import EngineResult, RunMetrics, merge_dp_results
-from repro.runtime.request import Request, Sequence, SequenceState
+from repro.runtime.request import Request, Sequence
 from repro.runtime.trace import DECODE, IDLE, NullTrace, Trace
 from repro.workloads.spec import WorkloadSpec
 
@@ -47,6 +48,12 @@ class EngineOptions:
         block_size: KV page size in tokens.
         kv_layout: CPU-side KV layout (HND is Seesaw's bandwidth-friendly
             choice; NHD exists for the layout ablation).
+        router: Multi-replica dispatch policy (see :mod:`repro.routing`).
+            ``static`` reproduces the seed's round-robin t=0 deal
+            bit-exactly; ``jsq``/``least-work``/``po2`` dispatch each
+            request at its arrival time against tracked replica load.
+        router_seed: Seed for stochastic policies (``po2``); ``None`` uses
+            the package default seed (still deterministic).
     """
 
     max_num_seqs: int = 512
@@ -56,22 +63,32 @@ class EngineOptions:
     block_size: int = 16
     kv_layout: KVLayout = KVLayout.HND
     trace: bool = False
+    router: str = "static"
+    router_seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_num_seqs < 1 or self.max_batched_tokens < 1 or self.chunk_size < 1:
             raise ConfigurationError("engine limits must be positive")
         if self.block_size < 1:
             raise ConfigurationError("block_size must be positive")
+        if self.router not in ROUTER_POLICIES:
+            raise ConfigurationError(
+                f"unknown router policy {self.router!r}; one of {ROUTER_POLICIES}"
+            )
 
 
 def split_requests(
     requests: TypingSequence[Request], num_parts: int
 ) -> list[list[Request]]:
-    """Partition requests across DP replicas.
+    """Partition requests across DP replicas with the offline t=0 deal.
 
-    Round-robin by index: deterministic, preserves arrival order inside each
-    replica, and balances both count and length distribution for the
-    workload sizes the paper uses.
+    Round-robin by submission index: deterministic, and balances both
+    count and length distribution for the workload sizes the paper uses.
+    Only partition *membership* matters — :class:`ReplicaState` re-sorts
+    each partition by arrival time on construction. For online serving
+    this static deal is superseded by the :mod:`repro.routing` subsystem,
+    which dispatches each request at its arrival time under pluggable
+    policies; its ``static`` policy reproduces this split bit-exactly.
     """
     if num_parts < 1:
         raise ConfigurationError("num_parts must be >= 1")
@@ -170,7 +187,12 @@ class BaseEngine(abc.ABC):
     # ------------------------------------------------------------------ #
 
     def run(self, workload: WorkloadSpec | TypingSequence[Request]) -> EngineResult:
-        """Execute the workload to completion; returns the run summary."""
+        """Execute the workload to completion; returns the run summary.
+
+        Requests are dispatched across the DP replicas by the routing
+        subsystem (``options.router``); each replica then simulates its
+        partition independently and the results merge.
+        """
         requests = (
             list(workload.requests)
             if isinstance(workload, WorkloadSpec)
@@ -178,7 +200,8 @@ class BaseEngine(abc.ABC):
         )
         if not requests:
             raise ConfigurationError("cannot run an empty workload")
-        parts = split_requests(requests, self.config.dp)
+        plan = self.make_router(requests).route(requests)
+        parts = [list(p) for p in plan.partitions]
         # Trace the first non-empty partition (partition 0 can be empty
         # when there are fewer requests than replicas).
         trace_part = next((i for i, p in enumerate(parts) if p), None)
@@ -191,7 +214,9 @@ class BaseEngine(abc.ABC):
             results.append(self._run_replica(part, replica_id=i))
             if traced:
                 self.last_trace = self._active_trace
-        return merge_dp_results(results, engine=self.name, label=self.label())
+        return merge_dp_results(
+            results, engine=self.name, label=self.label(), router=plan.stats
+        )
 
     def label(self) -> str:
         """Configuration label shown in reports."""
@@ -215,6 +240,42 @@ class BaseEngine(abc.ABC):
         trace = getattr(self, "_active_trace", None)
         if trace is not None:
             trace.record(kind, start, duration, **kw)
+
+    def make_router(self, requests: TypingSequence[Request]) -> Router:
+        """Router for this run, fed with per-replica rate estimates."""
+        return make_router(
+            self.options.router,
+            self.config.dp,
+            context=self.router_context(requests),
+            seed=self.options.router_seed,
+        )
+
+    def router_context(self, requests: TypingSequence[Request]) -> RouterContext:
+        """Per-replica service-rate estimates for the router's load model.
+
+        The prefill rate is one budget-sized micro-batch per stage period;
+        the decode rate is the KV-capacity-bound batch advancing one token
+        per iteration at the workload's mean context length (the Appendix A
+        analytic rates, specialized to one replica).
+        """
+        costs = self.make_costs()
+        budget = self.options.max_batched_tokens
+        prefill_rate = budget / costs.prefill_stage_time([budget]).total
+        avg_ctx = sum(r.prompt_len + r.output_len / 2.0 for r in requests) / len(
+            requests
+        )
+        capacity = kv_capacity_tokens(self.model, self.cluster, self.replica_config)
+        batch = max(
+            1, min(int(capacity / avg_ctx), self.options.max_num_seqs)
+        )
+        decode_rate = batch / costs.decode_iteration_time(
+            batch, int(batch * avg_ctx)
+        ).total
+        return RouterContext(
+            prefill_tokens_per_s=prefill_rate,
+            decode_tokens_per_s=decode_rate,
+            kv_capacity_tokens=capacity,
+        )
 
     def make_costs(self, config: ParallelConfig | None = None) -> StepCostModel:
         return StepCostModel(

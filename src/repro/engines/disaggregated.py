@@ -12,18 +12,20 @@ the duplicated weights crowd out KV space.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 
 from repro.costmodel.pipeline import pipeline_time_heterogeneous
 from repro.costmodel.step import ITERATION_OVERHEAD, StepCostModel
-from repro.engines.base import BaseEngine, EngineOptions, ReplicaState, split_requests
+from repro.engines.base import BaseEngine, EngineOptions, ReplicaState
 from repro.errors import CapacityError, ConfigurationError
 from repro.hardware.cluster import ClusterSpec
 from repro.models.config import ModelConfig
 from repro.parallel.config import ParallelConfig
-from repro.parallel.memory import fits
+from repro.parallel.memory import fits, kv_capacity_tokens
+from repro.routing import RouterContext, RoutingPlan, make_router
 from repro.runtime.latency import LatencyStats, RequestLatency
-from repro.runtime.metrics import EngineResult, RunMetrics, merge_dp_results
+from repro.runtime.metrics import EngineResult, RunMetrics
 from repro.runtime.request import Request, SequenceState
 from repro.workloads.spec import WorkloadSpec
 
@@ -147,15 +149,44 @@ class DisaggregatedEngine:
 
     # ------------------------------------------------------------------ #
 
-    def prefill_pool_time(self, workload: WorkloadSpec) -> float:
+    def _prefill_pool_plan(self, workload: WorkloadSpec) -> RoutingPlan:
+        """Route the prompts across the prefill pool's DP replicas.
+
+        The pool does no decode work, so its router context drains decode
+        tokens instantly (``inf`` rate); prefill drains at one budget-sized
+        micro-batch per stage period.
+        """
+        cfg = self.plan.prefill_config
+        replica_cfg = replace(cfg, dp=1)
+        costs = StepCostModel(self.model, self._prefill_cluster, replica_cfg)
+        budget = self.options.max_batched_tokens
+        context = RouterContext(
+            prefill_tokens_per_s=budget / costs.prefill_stage_time([budget]).total,
+            decode_tokens_per_s=math.inf,
+            kv_capacity_tokens=kv_capacity_tokens(
+                self.model, self._prefill_cluster, replica_cfg
+            ),
+        )
+        router = make_router(
+            self.options.router,
+            cfg.dp,
+            context=context,
+            seed=self.options.router_seed,
+        )
+        return router.route(list(workload.requests))
+
+    def prefill_pool_time(
+        self, workload: WorkloadSpec, pool_plan: RoutingPlan | None = None
+    ) -> float:
         """Wall time for the prefill pool to process every prompt.
 
         Prefilled KV leaves for the decode pool immediately, so the pool
         streams micro-batches continuously; per DP replica of the pool the
-        stream pipelines across its PP stages.
+        stream pipelines across its PP stages. ``pool_plan`` lets callers
+        that already routed the workload skip re-routing it.
         """
         cfg = self.plan.prefill_config
-        parts = split_requests(list(workload.requests), cfg.dp)
+        parts = (pool_plan or self._prefill_pool_plan(workload)).partitions
         replica_cfg = replace(cfg, dp=1)
         costs = StepCostModel(self.model, self._prefill_cluster, replica_cfg)
         times = []
@@ -201,7 +232,7 @@ class DisaggregatedEngine:
         )
 
     def _prefill_pool_schedule(
-        self, workload: WorkloadSpec
+        self, workload: WorkloadSpec, pool_plan: RoutingPlan | None = None
     ) -> tuple[dict[int, tuple[float, float]], float]:
         """Arrival-aware prefill-pool schedule: request_id -> (batch start,
         prefill completion) on the joint virtual clock, plus the pool's
@@ -221,7 +252,7 @@ class DisaggregatedEngine:
         fill_stages = replica_cfg.pp - 1
         schedule: dict[int, tuple[float, float]] = {}
         busy_time = 0.0
-        for part in split_requests(list(workload.requests), cfg.dp):
+        for part in (pool_plan or self._prefill_pool_plan(workload)).partitions:
             if not part:
                 continue
             queue = sorted(part, key=lambda r: r.arrival_time)
@@ -252,7 +283,7 @@ class DisaggregatedEngine:
         return schedule, busy_time
 
     def _joint_latency(
-        self, workload: WorkloadSpec
+        self, workload: WorkloadSpec, pool_plan: RoutingPlan | None = None
     ) -> tuple[LatencyStats, EngineResult, float]:
         """Simulate the two pools as a pipeline at request granularity.
 
@@ -261,7 +292,7 @@ class DisaggregatedEngine:
         Returns the joint latency records, the gated decode-pool result,
         and the prefill pool's busy time.
         """
-        schedule, prefill_busy = self._prefill_pool_schedule(workload)
+        schedule, prefill_busy = self._prefill_pool_schedule(workload, pool_plan)
         gated = WorkloadSpec(
             name=f"{workload.name}+prefilled",
             requests=tuple(
@@ -296,7 +327,8 @@ class DisaggregatedEngine:
         simulation: total time is when the gated decode pool finishes the
         last request.
         """
-        latency, gated_decode, prefill_busy = self._joint_latency(workload)
+        pool_plan = self._prefill_pool_plan(workload)
+        latency, gated_decode, prefill_busy = self._joint_latency(workload, pool_plan)
         online = any(r.arrival_time > 0 for r in workload.requests)
         if online:
             phase = dict(gated_decode.phase_time)
@@ -316,11 +348,14 @@ class DisaggregatedEngine:
                 iterations=gated_decode.iterations,
                 transitions=0,
                 latency=latency,
+                # The decode pool's dispatch record (decode dominates the
+                # serving latency; the prefill pool re-routes upstream).
+                router=gated_decode.router,
             )
         # Offline: the gated decode run degenerates to the seed's
         # decode-pool run shifted by prefill completions; the seed bound
         # still needs the unshifted decode time, simulated once here.
-        prefill_time = self.prefill_pool_time(workload)
+        prefill_time = self.prefill_pool_time(workload, pool_plan)
         decode_result = self.decode_pool_result(workload)
         first = workload.requests[0]
         costs = StepCostModel(
@@ -345,4 +380,5 @@ class DisaggregatedEngine:
             iterations=decode_result.iterations,
             transitions=0,
             latency=latency,
+            router=decode_result.router,
         )

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.hardware.gpu import GPU_REGISTRY, GPUSpec
+from repro.hardware.gpu import GPU_REGISTRY
 from repro.utils.tables import ascii_table
 from repro.utils.units import GB, GIB
 

@@ -8,7 +8,7 @@ in the evaluation section.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 from repro.hardware.gpu import GPUSpec, get_gpu

@@ -1,0 +1,216 @@
+"""Per-replica load tracking for the online router.
+
+The router makes its dispatch decision at each request's arrival time,
+*before* the replica simulations run, so it needs its own model of how
+loaded every replica is at that instant. :class:`ReplicaLoad` keeps that
+model: a serial FIFO of dispatched requests, each annotated with predicted
+start / prefill-completion / finish times derived from the replica's
+service-rate estimates (:class:`RouterContext`). Advancing the virtual
+clock retires finished entries; the queued/outstanding token views the
+policies rank replicas by are prorated against those windows.
+
+The model is deliberately first-order — one replica serves one request at
+a time at its steady-state token rates — which is exactly the fidelity a
+dispatcher in front of N black-box engines has. The engine simulations
+behind it remain the source of truth for what the dispatch *cost*.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.runtime.request import Request
+
+# Admission epsilon shared with the engines' arrival gating.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class RouterContext:
+    """Service-rate estimates the load model drains against.
+
+    Attributes:
+        prefill_tokens_per_s: Steady-state prefill token rate of one
+            replica. ``None`` disables draining — dispatched work then
+            accumulates forever and load comparisons degrade to cumulative
+            token balance.
+        decode_tokens_per_s: Steady-state decode token rate of one
+            replica; ``math.inf`` models a pool that hands decode work off
+            (the disaggregated prefill pool). ``None`` disables draining.
+        kv_capacity_tokens: One replica's KV capacity. When set, a
+            dispatch that would push the predicted resident KV past it
+            counts as a predicted preemption — the storm signal the router
+            rebalances on. ``None`` disables storm detection.
+    """
+
+    prefill_tokens_per_s: float | None = None
+    decode_tokens_per_s: float | None = None
+    kv_capacity_tokens: int | None = None
+
+    def __post_init__(self) -> None:
+        for name, rate in (
+            ("prefill_tokens_per_s", self.prefill_tokens_per_s),
+            ("decode_tokens_per_s", self.decode_tokens_per_s),
+        ):
+            if rate is not None and rate <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+
+def _duration(tokens: int, rate: float | None) -> float:
+    """Predicted seconds to process ``tokens`` at ``rate`` tokens/s."""
+    if tokens <= 0:
+        return 0.0
+    if rate is None:
+        return math.inf
+    return tokens / rate
+
+
+def _remaining(tokens: int, start: float, end: float, now: float) -> float:
+    """Tokens of a [start, end] processing window still ahead of ``now``,
+    prorated linearly (the whole amount while the window has not opened,
+    zero once it has closed)."""
+    if tokens <= 0 or now >= end:
+        return 0.0
+    if now <= start or math.isinf(end):
+        return float(tokens)
+    return tokens * (end - now) / (end - start)
+
+
+@dataclass(frozen=True)
+class DispatchRecord:
+    """One dispatched request with its predicted processing windows."""
+
+    index: int  # submission index within the routed request list
+    request: Request
+    start: float  # predicted service start (end of queueing)
+    prefill_done: float  # predicted prefill completion
+    finish: float  # predicted last-token time
+
+    def started_by(self, now: float) -> bool:
+        return self.start <= now + _EPS
+
+    def finished_by(self, now: float) -> bool:
+        return self.finish <= now + _EPS
+
+
+class ReplicaLoad:
+    """Mutable load ledger of one replica, maintained by the router."""
+
+    def __init__(self, replica_id: int, context: RouterContext) -> None:
+        self.replica_id = replica_id
+        self.context = context
+        self.records: deque[DispatchRecord] = deque()
+        self.clock = 0.0
+        self.busy_until = 0.0
+        # Dispatch accounting (survives record retirement; adjusted when a
+        # rebalance steals queued work back).
+        self.num_dispatched = 0
+        self.dispatched_prompt_tokens = 0
+        self.dispatched_tokens = 0
+        self.peak_queued_prefill_tokens = 0.0
+        self.predicted_preemptions = 0  # total over the run (stats)
+        self.storm_preemptions = 0  # since the last rebalance (trigger)
+
+    # ------------------------------------------------------------------ #
+    # Clock and load views
+    # ------------------------------------------------------------------ #
+
+    def advance(self, now: float) -> None:
+        """Move the ledger's clock to ``now``, retiring finished entries."""
+        if now < self.clock:
+            now = self.clock  # simultaneous arrivals never rewind the clock
+        self.clock = now
+        while self.records and self.records[0].finished_by(now):
+            self.records.popleft()
+
+    def queued_prefill_tokens(self, now: float | None = None) -> float:
+        """Prompt tokens dispatched here but not yet prefilled (JSQ's
+        queue-length metric)."""
+        now = self.clock if now is None else now
+        return sum(
+            _remaining(rec.request.prompt_len, rec.start, rec.prefill_done, now)
+            for rec in self.records
+        )
+
+    def outstanding_tokens(self, now: float | None = None) -> float:
+        """Unprefilled prompt tokens plus predicted undecoded tokens (the
+        least-work metric)."""
+        now = self.clock if now is None else now
+        total = 0.0
+        for rec in self.records:
+            total += _remaining(rec.request.prompt_len, rec.start, rec.prefill_done, now)
+            total += _remaining(
+                rec.request.output_len - 1, rec.prefill_done, rec.finish, now
+            )
+        return total
+
+    def resident_kv_tokens(self, now: float | None = None) -> int:
+        """Predicted KV tokens resident on the replica: the final context
+        length of every request in service (reservation-style accounting,
+        matching how admission pressure builds in the engines)."""
+        now = self.clock if now is None else now
+        return sum(
+            rec.request.total_tokens
+            for rec in self.records
+            if rec.started_by(now) and not rec.finished_by(now)
+        )
+
+    def work_seconds(self, now: float | None = None) -> float:
+        """Predicted seconds until this replica drains its queue."""
+        now = self.clock if now is None else now
+        return max(0.0, self.busy_until - now)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch and rebalance
+    # ------------------------------------------------------------------ #
+
+    def dispatch(self, index: int, request: Request, now: float) -> DispatchRecord:
+        """Assign ``request`` to this replica at ``now``; returns the
+        predicted-schedule record appended to the ledger."""
+        ctx = self.context
+        start = max(now, self.busy_until)
+        prefill_done = start + _duration(request.prompt_len, ctx.prefill_tokens_per_s)
+        finish = prefill_done + _duration(
+            request.output_len - 1, ctx.decode_tokens_per_s
+        )
+        if ctx.kv_capacity_tokens is not None:
+            resident = self.resident_kv_tokens(now) + request.total_tokens
+            if resident > ctx.kv_capacity_tokens:
+                self.predicted_preemptions += 1
+                self.storm_preemptions += 1
+        rec = DispatchRecord(
+            index=index,
+            request=request,
+            start=start,
+            prefill_done=prefill_done,
+            finish=finish,
+        )
+        self.records.append(rec)
+        self.busy_until = finish
+        self.num_dispatched += 1
+        self.dispatched_prompt_tokens += request.prompt_len
+        self.dispatched_tokens += request.total_tokens
+        self.peak_queued_prefill_tokens = max(
+            self.peak_queued_prefill_tokens, self.queued_prefill_tokens(now)
+        )
+        return rec
+
+    def steal_queued(self, now: float) -> list[DispatchRecord]:
+        """Remove and return every dispatched-but-unstarted entry (the
+        still-pending requests a storm rebalance re-routes elsewhere).
+        Resets the storm counter when anything was stolen."""
+        kept = [rec for rec in self.records if rec.started_by(now)]
+        stolen = [rec for rec in self.records if not rec.started_by(now)]
+        if not stolen:
+            return []
+        self.records = deque(kept)
+        self.busy_until = kept[-1].finish if kept else now
+        for rec in stolen:
+            self.num_dispatched -= 1
+            self.dispatched_prompt_tokens -= rec.request.prompt_len
+            self.dispatched_tokens -= rec.request.total_tokens
+        self.storm_preemptions = 0
+        return stolen

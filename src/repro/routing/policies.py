@@ -1,0 +1,258 @@
+"""Dispatch policies: how the router picks a replica for each arrival.
+
+All policies share the same event loop (:meth:`Router.route`): requests
+are visited in arrival order, every replica's load ledger is advanced to
+the arrival instant, the policy selects a replica, and — for the dynamic
+policies — replicas whose predicted-preemption counter crossed the storm
+threshold have their still-pending requests re-routed to the least-loaded
+survivors. The policies differ only in :meth:`Router.select`:
+
+- ``static``   — round-robin by submission index; bit-exact with the
+  seed's t=0 ``split_requests`` deal, and therefore the default (golden
+  offline numbers are preserved). Never rebalances.
+- ``jsq``      — join the shortest queue, measured in queued (not yet
+  prefilled) prompt tokens.
+- ``least-work`` — smallest outstanding work: queued prefill tokens plus
+  predicted undecoded tokens, both drained against the cost-model rates.
+- ``po2``      — power-of-two-choices: sample two distinct replicas with
+  a seeded generator, join the shorter queue. The classic trick that
+  captures most of JSQ's benefit with O(1) load probes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence as TypingSequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.routing.load import ReplicaLoad, RouterContext
+from repro.routing.stats import RouterStats, RoutingPlan
+from repro.runtime.request import Request
+from repro.utils.rng import make_rng
+
+ROUTER_POLICIES = ("static", "jsq", "least-work", "po2")
+
+# Predicted preemptions on one replica (since its last rebalance) that
+# mark it as undergoing a preemption storm.
+DEFAULT_STORM_PREEMPTIONS = 3
+
+
+class Router(abc.ABC):
+    """Shared routing loop; subclasses implement :meth:`select`."""
+
+    name: str = "base"
+    #: Dynamic policies re-route pending work away from storming replicas;
+    #: the static deal must stay bit-exact with the seed, so it opts out.
+    rebalance_on_storm: bool = True
+
+    def __init__(
+        self,
+        num_replicas: int,
+        context: RouterContext | None = None,
+        seed: int | None = None,
+        storm_preemptions: int = DEFAULT_STORM_PREEMPTIONS,
+    ) -> None:
+        if num_replicas < 1:
+            raise ConfigurationError("router needs at least one replica")
+        if storm_preemptions < 1:
+            raise ConfigurationError("storm_preemptions must be >= 1")
+        self.num_replicas = num_replicas
+        self.context = context if context is not None else RouterContext()
+        self.seed = seed
+        self.storm_preemptions = storm_preemptions
+        self.loads = [ReplicaLoad(i, self.context) for i in range(num_replicas)]
+
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def select(self, request: Request, index: int, now: float) -> int:
+        """Replica for ``request`` (submission index ``index``) arriving
+        at ``now``; loads have already been advanced to ``now``."""
+
+    def route(self, requests: TypingSequence[Request]) -> RoutingPlan:
+        """Dispatch every request at its arrival time; returns the plan."""
+        reqs = list(requests)
+        if not reqs:
+            raise ConfigurationError("cannot route an empty request list")
+        # Arrival order with submission order breaking ties — the same
+        # convention the replica schedulers use.
+        order = sorted(range(len(reqs)), key=lambda i: (reqs[i].arrival_time, i))
+        assignments = [0] * len(reqs)
+        rebalanced = 0
+        rebalances = 0
+        for i in order:
+            req = reqs[i]
+            now = req.arrival_time
+            for load in self.loads:
+                load.advance(now)
+            rid = self.select(req, i, now)
+            if not 0 <= rid < self.num_replicas:
+                raise SimulationError(
+                    f"{self.name} selected replica {rid} of {self.num_replicas}"
+                )
+            self.loads[rid].dispatch(i, req, now)
+            assignments[i] = rid
+            if self.rebalance_on_storm and self.num_replicas > 1:
+                moved = self._rebalance_storms(now, assignments)
+                if moved:
+                    rebalanced += moved
+                    rebalances += 1
+        partitions = tuple(
+            tuple(reqs[i] for i in range(len(reqs)) if assignments[i] == rid)
+            for rid in range(self.num_replicas)
+        )
+        return RoutingPlan(
+            assignments=tuple(assignments),
+            partitions=partitions,
+            stats=self._stats(rebalanced, rebalances),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Storm rebalancing
+    # ------------------------------------------------------------------ #
+
+    def _rebalance_storms(self, now: float, assignments: list[int]) -> int:
+        """Re-route still-pending requests away from storming replicas.
+
+        A replica whose predicted-preemption counter reached the storm
+        threshold has every dispatched-but-unstarted request stolen back
+        and re-dispatched to the least-loaded *calm* replica. Requiring a
+        calm target keeps two storming replicas from bouncing the same
+        requests back and forth within one pass (and from double-counting
+        them in the rebalance stats); when every other replica is storming
+        too there is nowhere better, so the work stays put.
+        """
+        # Snapshot who is storming before moving anything: stealing resets
+        # the source's counter and dispatching can push a target over the
+        # threshold, and neither may change who gives or receives mid-pass.
+        storming = [
+            load
+            for load in self.loads
+            if load.storm_preemptions >= self.storm_preemptions
+        ]
+        calm = [load for load in self.loads if load not in storming]
+        if not calm:
+            return 0
+        moved = 0
+        for load in storming:
+            for rec in load.steal_queued(now):
+                target = min(
+                    calm,
+                    key=lambda l: (l.outstanding_tokens(now), l.replica_id),
+                )
+                target.dispatch(rec.index, rec.request, now)
+                assignments[rec.index] = target.replica_id
+                moved += 1
+        return moved
+
+    def _stats(self, rebalanced: int, rebalances: int) -> RouterStats:
+        return RouterStats(
+            policy=self.name,
+            num_replicas=self.num_replicas,
+            requests_per_replica=tuple(l.num_dispatched for l in self.loads),
+            tokens_per_replica=tuple(l.dispatched_tokens for l in self.loads),
+            peak_queued_prefill_tokens=tuple(
+                l.peak_queued_prefill_tokens for l in self.loads
+            ),
+            predicted_preemptions=tuple(
+                l.predicted_preemptions for l in self.loads
+            ),
+            rebalanced_requests=rebalanced,
+            rebalances=rebalances,
+        )
+
+
+class StaticRouter(Router):
+    """The seed's round-robin-by-index deal, expressed as a policy.
+
+    Partition membership is a pure function of the submission index, so
+    offline workloads reproduce ``split_requests`` — and the pinned golden
+    numbers — bit-exactly. Load is still tracked for reporting.
+    """
+
+    name = "static"
+    rebalance_on_storm = False
+
+    def select(self, request: Request, index: int, now: float) -> int:
+        return index % self.num_replicas
+
+
+class JSQRouter(Router):
+    """Join-shortest-queue by queued (not yet prefilled) prompt tokens."""
+
+    name = "jsq"
+
+    def select(self, request: Request, index: int, now: float) -> int:
+        return min(
+            self.loads,
+            key=lambda load: (load.queued_prefill_tokens(now), load.replica_id),
+        ).replica_id
+
+
+class LeastWorkRouter(Router):
+    """Smallest outstanding work: queued prefill plus predicted decode
+    tokens, drained against the cost-model service rates."""
+
+    name = "least-work"
+
+    def select(self, request: Request, index: int, now: float) -> int:
+        return min(
+            self.loads,
+            key=lambda load: (load.outstanding_tokens(now), load.replica_id),
+        ).replica_id
+
+
+class Po2Router(Router):
+    """Power-of-two-choices: probe two random replicas, join the shorter
+    prefill queue. Deterministic per seed."""
+
+    name = "po2"
+
+    def __init__(
+        self,
+        num_replicas: int,
+        context: RouterContext | None = None,
+        seed: int | None = None,
+        storm_preemptions: int = DEFAULT_STORM_PREEMPTIONS,
+    ) -> None:
+        super().__init__(num_replicas, context, seed, storm_preemptions)
+        self.rng = make_rng(seed)
+
+    def select(self, request: Request, index: int, now: float) -> int:
+        if self.num_replicas == 1:
+            return 0
+        a, b = (
+            int(x) for x in self.rng.choice(self.num_replicas, size=2, replace=False)
+        )
+        return min(
+            (self.loads[a], self.loads[b]),
+            key=lambda load: (load.queued_prefill_tokens(now), load.replica_id),
+        ).replica_id
+
+
+_POLICY_CLASSES: dict[str, type[Router]] = {
+    cls.name: cls for cls in (StaticRouter, JSQRouter, LeastWorkRouter, Po2Router)
+}
+assert tuple(_POLICY_CLASSES) == ROUTER_POLICIES
+
+
+def make_router(
+    policy: str,
+    num_replicas: int,
+    *,
+    context: RouterContext | None = None,
+    seed: int | None = None,
+    storm_preemptions: int = DEFAULT_STORM_PREEMPTIONS,
+) -> Router:
+    """Instantiate a routing policy by CLI name."""
+    cls = _POLICY_CLASSES.get(policy)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown router policy {policy!r}; one of {ROUTER_POLICIES}"
+        )
+    return cls(
+        num_replicas,
+        context=context,
+        seed=seed,
+        storm_preemptions=storm_preemptions,
+    )

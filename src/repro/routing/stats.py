@@ -1,0 +1,115 @@
+"""Router dispatch statistics, carried through :class:`EngineResult`.
+
+:class:`RouterStats` is the cluster-level complement to the per-replica
+run metrics: how the router spread requests and tokens, how deep each
+replica's predicted prefill queue got, and how often the storm rebalancer
+moved pending work. The load-imbalance ratios here are what the report
+tables surface (max/mean = 1.0 is a perfectly balanced cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.request import Request
+
+
+def _max_over_mean(values: tuple[float, ...] | tuple[int, ...]) -> float:
+    """Max/mean imbalance ratio; 1.0 for an empty or all-zero vector."""
+    if not values:
+        return 1.0
+    mean = sum(values) / len(values)
+    if mean <= 0:
+        return 1.0
+    return max(values) / mean
+
+
+@dataclass(frozen=True)
+class RouterStats:
+    """Summary of one routing pass over a workload."""
+
+    policy: str
+    num_replicas: int
+    requests_per_replica: tuple[int, ...]
+    tokens_per_replica: tuple[int, ...]  # prompt + output tokens dispatched
+    peak_queued_prefill_tokens: tuple[float, ...]
+    predicted_preemptions: tuple[int, ...]
+    rebalanced_requests: int = 0
+    rebalances: int = 0
+
+    def __post_init__(self) -> None:
+        vectors = (
+            self.requests_per_replica,
+            self.tokens_per_replica,
+            self.peak_queued_prefill_tokens,
+            self.predicted_preemptions,
+        )
+        if any(len(v) != self.num_replicas for v in vectors):
+            raise SimulationError(
+                f"router stats vectors must have {self.num_replicas} entries"
+            )
+
+    @property
+    def num_requests(self) -> int:
+        return sum(self.requests_per_replica)
+
+    @property
+    def token_imbalance(self) -> float:
+        """Max/mean dispatched tokens across replicas (1.0 = balanced)."""
+        return _max_over_mean(self.tokens_per_replica)
+
+    @property
+    def request_imbalance(self) -> float:
+        """Max/mean dispatched request count across replicas."""
+        return _max_over_mean(self.requests_per_replica)
+
+    @property
+    def peak_queue_imbalance(self) -> float:
+        """Max/mean of the per-replica peak queued-prefill-token depth —
+        the metric JSQ exists to flatten."""
+        return _max_over_mean(self.peak_queued_prefill_tokens)
+
+    @property
+    def max_peak_queued_tokens(self) -> float:
+        return max(self.peak_queued_prefill_tokens, default=0.0)
+
+    @property
+    def mean_peak_queued_tokens(self) -> float:
+        if not self.peak_queued_prefill_tokens:
+            return 0.0
+        return sum(self.peak_queued_prefill_tokens) / self.num_replicas
+
+    @property
+    def total_predicted_preemptions(self) -> int:
+        return sum(self.predicted_preemptions)
+
+    def describe(self) -> str:
+        return (
+            f"{self.policy}: {self.num_requests} reqs over "
+            f"{self.num_replicas} replicas | tok-imbal "
+            f"{self.token_imbalance:.2f} | peak-queue-imbal "
+            f"{self.peak_queue_imbalance:.2f} | rebalanced "
+            f"{self.rebalanced_requests}"
+        )
+
+
+@dataclass(frozen=True)
+class RoutingPlan:
+    """Outcome of routing one request list: who goes where, plus stats.
+
+    ``assignments[i]`` is the replica of the ``i``-th request *in
+    submission order*; ``partitions[r]`` lists replica ``r``'s requests in
+    submission order (replica schedulers re-sort by arrival anyway).
+    """
+
+    assignments: tuple[int, ...]
+    partitions: tuple[tuple["Request", ...], ...]
+    stats: RouterStats
+
+    def __post_init__(self) -> None:
+        if sum(len(p) for p in self.partitions) != len(self.assignments):
+            raise SimulationError("routing plan lost or duplicated requests")

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.costmodel.breakdown import Breakdown
 from repro.errors import SimulationError
+from repro.routing.stats import RouterStats
 from repro.runtime.latency import LatencyStats
 
 
@@ -73,6 +74,9 @@ class EngineResult:
     # Per-request latency statistics (None for purely analytic results
     # that never simulated individual requests).
     latency: LatencyStats | None = None
+    # Cluster-level dispatch statistics from the routing subsystem (None
+    # for single-replica paths that never routed).
+    router: RouterStats | None = None
 
     def __post_init__(self) -> None:
         if self.total_time <= 0:
@@ -107,7 +111,12 @@ class EngineResult:
         )
 
 
-def merge_dp_results(results: list[EngineResult], engine: str, label: str) -> EngineResult:
+def merge_dp_results(
+    results: list[EngineResult],
+    engine: str,
+    label: str,
+    router: RouterStats | None = None,
+) -> EngineResult:
     """Combine per-replica results of a data-parallel run.
 
     Replicas run concurrently on disjoint request partitions, so *wall*
@@ -121,6 +130,10 @@ def merge_dp_results(results: list[EngineResult], engine: str, label: str) -> En
       performed and merge with ``sum``/union;
     - ``transitions`` are lock-step re-shards of the whole replica group
       (Seesaw re-shards every GPU at once), so they merge with ``max``.
+
+    ``router`` is the cluster-level dispatch record of the run that
+    produced these partitions; it is attached as-is (routing happens once,
+    above the replicas, so there is nothing per-replica to merge).
     """
     if not results:
         raise SimulationError("no replica results to merge")
@@ -147,4 +160,5 @@ def merge_dp_results(results: list[EngineResult], engine: str, label: str) -> En
         swapped_in_tokens=sum(r.swapped_in_tokens for r in results),
         swapped_out_tokens=sum(r.swapped_out_tokens for r in results),
         latency=LatencyStats.merged(latencies) if latencies else None,
+        router=router,
     )

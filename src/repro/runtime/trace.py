@@ -13,7 +13,7 @@ events; engines call :meth:`Trace.record` unconditionally on a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import SimulationError

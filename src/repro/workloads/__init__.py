@@ -10,7 +10,12 @@ is the operative property.
 """
 
 from repro.workloads.spec import WorkloadSpec, workload_stats, WorkloadStats
-from repro.workloads.synthetic import constant_workload, uniform_workload, ratio_workload
+from repro.workloads.synthetic import (
+    bimodal_workload,
+    constant_workload,
+    uniform_workload,
+    ratio_workload,
+)
 from repro.workloads.arrivals import (
     ARRIVAL_KINDS,
     bursty_arrivals,
@@ -18,6 +23,7 @@ from repro.workloads.arrivals import (
     offered_rate,
     poisson_arrivals,
     stamp_arrivals,
+    trace_arrivals,
 )
 from repro.workloads.datasets import (
     sharegpt_workload,
@@ -30,6 +36,7 @@ __all__ = [
     "WorkloadSpec",
     "WorkloadStats",
     "workload_stats",
+    "bimodal_workload",
     "constant_workload",
     "uniform_workload",
     "ratio_workload",
@@ -38,6 +45,7 @@ __all__ = [
     "bursty_arrivals",
     "make_arrivals",
     "stamp_arrivals",
+    "trace_arrivals",
     "offered_rate",
     "sharegpt_workload",
     "arxiv_workload",

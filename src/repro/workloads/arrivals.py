@@ -12,6 +12,8 @@ stamping arrival times from a configurable process:
   arrivals clump into bursts, the regime where admission queues actually
   build. ``burstiness`` is the squared coefficient of variation of the
   gaps; 1.0 recovers Poisson exactly.
+- ``trace:<path>`` — replay recorded timestamps from a JSON or CSV log
+  (:func:`trace_arrivals`): production traffic without a parametric model.
 
 Stamping preserves request order (request ``i`` gets the ``i``-th arrival),
 so a workload's length distribution is independent of its arrival process.
@@ -20,7 +22,11 @@ All processes are deterministic per seed.
 
 from __future__ import annotations
 
+import csv
+import json
+import math
 from dataclasses import replace
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -30,6 +36,8 @@ from repro.utils.rng import make_rng
 from repro.workloads.spec import WorkloadSpec
 
 ARRIVAL_KINDS = ("poisson", "bursty")
+# Prefix form accepted by make_arrivals / the CLI: ``trace:<path>``.
+TRACE_PREFIX = "trace:"
 
 
 def stamp_arrivals(
@@ -87,27 +95,125 @@ def bursty_arrivals(
     )
 
 
+def _load_trace_timestamps(path: str | Path) -> list[float]:
+    """Parse arrival timestamps from a JSON or CSV log file.
+
+    JSON accepts a bare list of numbers, a list of objects carrying an
+    ``arrival_time``/``timestamp`` key, or ``{"arrivals": [...]}``. Any
+    other suffix is parsed as CSV with the timestamp in the first column
+    (a single non-numeric header row is tolerated).
+    """
+    p = Path(path)
+    if not p.is_file():
+        raise ConfigurationError(f"arrival trace {str(p)!r} does not exist")
+    raw: list[object]
+    if p.suffix.lower() == ".json":
+        try:
+            data = json.loads(p.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"arrival trace {p.name}: invalid JSON ({exc})")
+        if isinstance(data, dict):
+            data = data.get("arrivals")
+            if data is None:
+                raise ConfigurationError(
+                    f"arrival trace {p.name}: JSON object needs an 'arrivals' key"
+                )
+        if not isinstance(data, list):
+            raise ConfigurationError(
+                f"arrival trace {p.name}: expected a list of timestamps"
+            )
+        raw = [
+            d.get("arrival_time", d.get("timestamp")) if isinstance(d, dict) else d
+            for d in data
+        ]
+    else:
+        with p.open(newline="") as fh:
+            rows = [row for row in csv.reader(fh) if row and row[0].strip()]
+        if rows:
+            try:
+                float(rows[0][0])
+            except ValueError:
+                rows = rows[1:]  # header row
+        raw = [row[0] for row in rows]
+    timestamps: list[float] = []
+    for i, value in enumerate(raw):
+        try:
+            t = float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"arrival trace {p.name}: entry {i} ({value!r}) is not a timestamp"
+            ) from None
+        if not math.isfinite(t):
+            raise ConfigurationError(
+                f"arrival trace {p.name}: entry {i} is not finite"
+            )
+        timestamps.append(t)
+    if not timestamps:
+        raise ConfigurationError(f"arrival trace {p.name} holds no timestamps")
+    return timestamps
+
+
+def trace_arrivals(
+    base: WorkloadSpec, path: str | Path, name: str | None = None
+) -> WorkloadSpec:
+    """Replay recorded arrival timestamps onto ``base``.
+
+    Timestamps are sorted and shifted so the earliest arrival lands at
+    t=0 (logs usually carry absolute epochs); request ``i`` gets the
+    ``i``-th arrival, as with the parametric stampers. The trace must hold
+    at least one timestamp per request — extra trailing timestamps are
+    ignored so one production log can drive workloads of any smaller size.
+    """
+    timestamps = _load_trace_timestamps(path)
+    if len(timestamps) < base.num_requests:
+        raise ConfigurationError(
+            f"arrival trace {Path(path).name} holds {len(timestamps)} "
+            f"timestamps for {base.num_requests} requests"
+        )
+    stamps = sorted(timestamps)[: base.num_requests]
+    origin = stamps[0]
+    return stamp_arrivals(
+        base,
+        [t - origin for t in stamps],
+        name=name or f"{base.name}+trace({Path(path).name})",
+    )
+
+
 def make_arrivals(
     base: WorkloadSpec,
     kind: str,
-    rate_rps: float,
+    rate_rps: float = 0.0,
     *,
     burstiness: float = 4.0,
     seed: int | None = None,
 ) -> WorkloadSpec:
-    """Dispatch by process name (the CLI's ``--arrival`` values)."""
+    """Dispatch by process name (the CLI's ``--arrival`` values).
+
+    ``kind`` is one of :data:`ARRIVAL_KINDS` (which consume ``rate_rps``)
+    or ``trace:<path>`` (which replays the log and ignores the rate).
+    """
+    if kind.startswith(TRACE_PREFIX):
+        path = kind[len(TRACE_PREFIX):]
+        if not path:
+            raise ConfigurationError("trace arrival needs a path: trace:<path>")
+        return trace_arrivals(base, path)
     if kind == "poisson":
         return poisson_arrivals(base, rate_rps, seed=seed)
     if kind == "bursty":
         return bursty_arrivals(base, rate_rps, burstiness=burstiness, seed=seed)
     raise ConfigurationError(
-        f"unknown arrival process {kind!r}; one of {ARRIVAL_KINDS}"
+        f"unknown arrival process {kind!r}; one of {ARRIVAL_KINDS} "
+        f"or {TRACE_PREFIX}<path>"
     )
 
 
 def offered_rate(workload: WorkloadSpec) -> float:
     """Empirical request rate of a stamped workload (requests / span)."""
     arrivals = [r.arrival_time for r in workload.requests]
+    if not arrivals:
+        raise ConfigurationError(
+            "cannot compute the offered rate of an empty workload"
+        )
     span = max(arrivals)
     if span <= 0:
         raise ConfigurationError("workload has no arrival span (offline?)")

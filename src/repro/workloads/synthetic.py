@@ -56,6 +56,42 @@ def uniform_workload(
     return WorkloadSpec(name=name or "uniform", requests=reqs)
 
 
+def bimodal_workload(
+    num_requests: int,
+    long_prompt: int = 6144,
+    short_prompt: int = 256,
+    output_len: int = 16,
+    period: int = 2,
+    name: str | None = None,
+) -> WorkloadSpec:
+    """Long prompts every ``period``-th request, short ones otherwise.
+
+    The adversarial shape for static round-robin DP partitioning: with the
+    default ``period=2`` every long prompt has the same submission-index
+    parity, so a 2-replica round-robin deal sends *all* of them to one
+    replica while the other idles — the load-imbalance failure mode the
+    routing subsystem's dynamic policies exist to fix.
+    """
+    if num_requests < 1:
+        raise ConfigurationError("num_requests must be >= 1")
+    if period < 1:
+        raise ConfigurationError("period must be >= 1")
+    if long_prompt < 1 or short_prompt < 1 or output_len < 1:
+        raise ConfigurationError("lengths must be >= 1")
+    reqs = tuple(
+        Request(
+            request_id=i,
+            prompt_len=long_prompt if i % period == 0 else short_prompt,
+            output_len=output_len,
+        )
+        for i in range(num_requests)
+    )
+    return WorkloadSpec(
+        name=name or f"bimodal(p={long_prompt}|{short_prompt},d={output_len})",
+        requests=reqs,
+    )
+
+
 def ratio_workload(
     num_requests: int,
     dp_ratio: float,

@@ -7,14 +7,18 @@ from repro.analysis.report import (
     best_result,
     comparison_table,
     normalized_throughputs,
+    routing_table,
     speedup,
 )
 from repro.costmodel.breakdown import Breakdown
 from repro.errors import ConfigurationError
+from repro.routing import RouterStats
 from repro.runtime.metrics import EngineResult
 
 
-def make_result(rps: float, label: str = "T4") -> EngineResult:
+def make_result(
+    rps: float, label: str = "T4", router: RouterStats | None = None
+) -> EngineResult:
     n = 100
     return EngineResult(
         engine="x",
@@ -27,6 +31,20 @@ def make_result(rps: float, label: str = "T4") -> EngineResult:
         breakdown=Breakdown(linear_dm=1.0, comm=0.5),
         iterations=5,
         transitions=0,
+        router=router,
+    )
+
+
+def make_router_stats(policy: str = "jsq") -> RouterStats:
+    return RouterStats(
+        policy=policy,
+        num_replicas=2,
+        requests_per_replica=(60, 40),
+        tokens_per_replica=(6600, 4400),
+        peak_queued_prefill_tokens=(900.0, 300.0),
+        predicted_preemptions=(1, 0),
+        rebalanced_requests=2,
+        rebalances=1,
     )
 
 
@@ -51,6 +69,29 @@ class TestReport:
     def test_comparison_table(self):
         out = comparison_table({"a": make_result(1.0), "b": make_result(2.0)}, "a")
         assert "req/s" in out and "a" in out and "b" in out
+        assert "tok-imbal" not in out  # no multi-replica routing stats
+
+    def test_comparison_table_appends_router_columns(self):
+        out = comparison_table(
+            {
+                "routed": make_result(1.0, router=make_router_stats()),
+                "plain": make_result(2.0),
+            }
+        )
+        assert "tok-imbal" in out and "jsq" in out
+        assert "1.20" in out  # max/mean of (6600, 4400)
+
+    def test_routing_table(self):
+        out = routing_table(
+            {
+                "a": make_result(1.0, router=make_router_stats("static")),
+                "plain": make_result(2.0),
+            }
+        )
+        assert "static" in out and "queue-imbal" in out
+        assert "1.50" in out  # peak-queue max/mean of (900, 300)
+        with pytest.raises(ConfigurationError):
+            routing_table({"plain": make_result(1.0)})
 
 
 class TestBreakdown:

@@ -1,4 +1,6 @@
-"""Arrival processes: determinism, target rates, burstiness."""
+"""Arrival processes: determinism, target rates, burstiness, traces."""
+
+import json
 
 import numpy as np
 import pytest
@@ -10,6 +12,7 @@ from repro.workloads.arrivals import (
     offered_rate,
     poisson_arrivals,
     stamp_arrivals,
+    trace_arrivals,
 )
 from repro.workloads.synthetic import constant_workload, poisson_arrival_workload
 
@@ -95,6 +98,75 @@ class TestBursty:
             bursty_arrivals(base(), 5.0, burstiness=0.0)
 
 
+class TestTrace:
+    def write_json(self, tmp_path, payload, name="trace.json"):
+        p = tmp_path / name
+        p.write_text(json.dumps(payload))
+        return p
+
+    def test_replays_normalized_timestamps(self, tmp_path):
+        p = self.write_json(tmp_path, [100.0, 101.5, 100.5, 104.0])
+        wl = trace_arrivals(base(4), p)
+        # Sorted and shifted so the earliest arrival is t=0.
+        assert [r.arrival_time for r in wl.requests] == [0.0, 0.5, 1.5, 4.0]
+        assert "trace(trace.json)" in wl.name
+
+    def test_json_object_and_record_forms(self, tmp_path):
+        obj = self.write_json(tmp_path, {"arrivals": [5.0, 6.0]}, "a.json")
+        recs = self.write_json(
+            tmp_path,
+            [{"arrival_time": 5.0}, {"timestamp": 6.0}],
+            "b.json",
+        )
+        for p in (obj, recs):
+            wl = trace_arrivals(base(2), p)
+            assert [r.arrival_time for r in wl.requests] == [0.0, 1.0]
+
+    def test_csv_with_header(self, tmp_path):
+        p = tmp_path / "trace.csv"
+        p.write_text("arrival_time\n10.0\n10.25\n11.5\n")
+        wl = trace_arrivals(base(3), p)
+        assert [r.arrival_time for r in wl.requests] == [0.0, 0.25, 1.5]
+
+    def test_extra_timestamps_ignored(self, tmp_path):
+        p = self.write_json(tmp_path, [0.0, 1.0, 2.0, 3.0, 4.0])
+        wl = trace_arrivals(base(2), p)
+        assert [r.arrival_time for r in wl.requests] == [0.0, 1.0]
+
+    def test_short_trace_rejected(self, tmp_path):
+        p = self.write_json(tmp_path, [0.0, 1.0])
+        with pytest.raises(ConfigurationError, match="2 timestamps for 3"):
+            trace_arrivals(base(3), p)
+
+    def test_missing_and_malformed_traces(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            trace_arrivals(base(1), tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            trace_arrivals(base(1), bad)
+        nonnum = self.write_json(tmp_path, [1.0, "soon"], "nonnum.json")
+        with pytest.raises(ConfigurationError, match="not a timestamp"):
+            trace_arrivals(base(2), nonnum)
+
+    def test_example_trace_ships_and_replays(self):
+        from pathlib import Path
+
+        example = Path(__file__).parent.parent / "examples" / "arrival_trace.json"
+        wl = trace_arrivals(base(24), example)
+        arrivals = [r.arrival_time for r in wl.requests]
+        assert arrivals[0] == 0.0
+        assert arrivals == sorted(arrivals)
+        assert offered_rate(wl) > 0
+
+    def test_make_arrivals_trace_prefix(self, tmp_path):
+        p = self.write_json(tmp_path, [0.0, 2.0])
+        wl = make_arrivals(base(2), f"trace:{p}")
+        assert [r.arrival_time for r in wl.requests] == [0.0, 2.0]
+        with pytest.raises(ConfigurationError, match="trace:<path>"):
+            make_arrivals(base(2), "trace:")
+
+
 class TestDispatch:
     def test_make_arrivals_kinds(self):
         assert "poisson" in make_arrivals(base(), "poisson", 5.0).name
@@ -105,3 +177,12 @@ class TestDispatch:
     def test_offered_rate_rejects_offline(self):
         with pytest.raises(ConfigurationError):
             offered_rate(base())
+
+    def test_offered_rate_empty_workload_raises_configuration_error(self):
+        """The empty case must surface as ConfigurationError, not the bare
+        ValueError ``max()`` raises on an empty sequence."""
+        from types import SimpleNamespace
+
+        empty = SimpleNamespace(requests=())
+        with pytest.raises(ConfigurationError, match="empty workload"):
+            offered_rate(empty)

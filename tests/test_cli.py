@@ -200,6 +200,56 @@ class TestOnlineFlags:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--arrival", "uniform"])
 
+    def test_router_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--router", "fastest"])
+
+    def test_run_with_jsq_router_prints_routing_stats(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--model",
+                "15b",
+                "--num-gpus",
+                "4",
+                "--dataset",
+                "const:512x64",
+                "--num-requests",
+                "8",
+                "--config",
+                "D2T2",
+                "--request-rate",
+                "2.0",
+                "--router",
+                "jsq",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "routing: jsq:" in out
+        assert "tok-imbal" in out
+
+    def test_run_with_trace_arrivals(self, capsys):
+        from pathlib import Path
+
+        trace = Path(__file__).parent.parent / "examples" / "arrival_trace.json"
+        rc = main(
+            [
+                "run",
+                "--dataset",
+                "const:256x16",
+                "--num-requests",
+                "8",
+                "--config",
+                "T4P2",
+                "--arrival",
+                f"trace:{trace}",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latency:" in out
+
     def test_negative_request_rate_rejected(self, capsys):
         rc = main(
             ["run", "--dataset", "const:256x16", "--num-requests", "2", "--request-rate", "-1"]

@@ -12,8 +12,7 @@ from repro.costmodel.roofline import layer_time
 from repro.costmodel.step import StepCostModel
 from repro.costmodel.transfer import KVLayout, TransferModel
 from repro.errors import ConfigurationError
-from repro.hardware.cluster import make_cluster
-from repro.parallel.config import ParallelConfig, parse_config
+from repro.parallel.config import parse_config
 
 
 class TestBreakdown:

@@ -293,12 +293,16 @@ class TestTraceSelection:
         """If partition 0 is empty the trace must attach to the first
         partition that actually has requests (the seed left a NullTrace)."""
         import repro.engines.base as base_mod
+        from repro.routing import StaticRouter
 
-        real_split = base_mod.split_requests
+        class _SkipReplicaZero(StaticRouter):
+            def select(self, request, index, now):
+                return self.num_replicas - 1
+
         monkeypatch.setattr(
-            base_mod,
-            "split_requests",
-            lambda reqs, n: [[]] + real_split(reqs, n - 1) if n > 1 else real_split(reqs, n),
+            base_mod.BaseEngine,
+            "make_router",
+            lambda self, requests: _SkipReplicaZero(self.config.dp),
         )
         wl = constant_workload(2, 256, 8)
         opts = EngineOptions(trace=True)

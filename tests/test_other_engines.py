@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.engines.base import EngineOptions
 from repro.engines.decode_prioritized import DecodePrioritizedEngine
 from repro.engines.disaggregated import (
     DisaggregatedEngine,

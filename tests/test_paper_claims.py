@@ -8,7 +8,6 @@ measured values next to the paper's.
 import pytest
 
 from repro.core.engine import SeesawEngine
-from repro.engines.base import EngineOptions
 from repro.engines.vllm_like import VllmLikeEngine
 from repro.experiments.fig1_breakdown import run_fig1
 from repro.experiments.fig2_scheduling import run_fig2

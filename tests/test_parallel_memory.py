@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import CapacityError
 from repro.hardware.cluster import make_cluster
-from repro.models.registry import get_model
 from repro.parallel.config import ParallelConfig, parse_config
 from repro.parallel.enumerate import enumerate_configs, feasible_configs
 from repro.parallel.memory import (

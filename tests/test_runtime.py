@@ -1,6 +1,5 @@
 """Runtime substrate: requests, KV cache, CPU buffer, channels, metrics."""
 
-import math
 
 import pytest
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.engine import SeesawEngine
 from repro.core.options import SeesawOptions
-from repro.engines.vllm_like import VllmLikeEngine
 from repro.errors import ConfigurationError
 from repro.parallel.config import parse_config
 from repro.workloads.datasets import arxiv_workload, sharegpt_workload
