@@ -7,6 +7,11 @@ configuration space the way the paper's evaluation does — every static
 Seesaw — optionally validating the analytic top-k by short simulation.
 """
 
+from repro.autotuner.objective import (
+    OBJECTIVES,
+    ServingObjective,
+    ServingPrediction,
+)
 from repro.autotuner.predictor import (
     predict_prefill_rate,
     predict_decode_rate,
@@ -22,6 +27,9 @@ from repro.autotuner.search import (
 )
 
 __all__ = [
+    "OBJECTIVES",
+    "ServingObjective",
+    "ServingPrediction",
     "predict_prefill_rate",
     "predict_decode_rate",
     "predict_request_rate",

@@ -33,13 +33,20 @@ PREFILL_MICROBATCH_TOKENS = 8192
 
 @dataclass(frozen=True)
 class PredictedRates:
-    """Analytic rates for one configuration on one workload shape."""
+    """Analytic rates for one configuration on one workload shape.
+
+    ``config`` is the decode-side configuration (the seed convention);
+    ``prefill_config`` carries the prefill side so consumers that need the
+    prefill DP group (the serving objective's per-replica prefill latency)
+    do not have to assume the pair is DP-matched.
+    """
 
     config: ParallelConfig
     prefill_tokens_per_s: float
     decode_tokens_per_s: float
     request_rate: float
     max_batch_size: int
+    prefill_config: ParallelConfig | None = None
 
 
 def predict_prefill_rate(
@@ -115,4 +122,5 @@ def predict_request_rate(
         decode_tokens_per_s=decode_rate,
         request_rate=1.0 / seconds_per_request,
         max_batch_size=b_max,
+        prefill_config=prefill_cfg,
     )

@@ -5,12 +5,20 @@ single configurations and reports the best (Section 6.2), and Seesaw picks
 a prefill-optimal and a decode-optimal configuration pair. Ranking is
 analytic (cheap); ``simulate_top`` optionally re-ranks the analytic top-k
 with short engine runs on a workload subsample for fidelity.
+
+What the ranking optimizes is a :class:`~repro.autotuner.objective.ServingObjective`:
+the default (``throughput``) reproduces the seed's offline-throughput
+ordering bit-exactly, while ``slo`` ranks by queueing-corrected goodput
+under an offered request rate and re-ranks the simulated top-k by measured
+SLO attainment.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
+from repro.autotuner.objective import ServingObjective
 from repro.autotuner.predictor import predict_request_rate
 from repro.engines.base import EngineOptions
 from repro.errors import CapacityError, ConfigurationError
@@ -20,22 +28,31 @@ from repro.parallel.config import ParallelConfig
 from repro.parallel.enumerate import feasible_configs
 from repro.workloads.spec import WorkloadSpec
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.options import SeesawOptions
+
 
 @dataclass(frozen=True)
 class RankedConfig:
-    """One configuration with its predicted request rate."""
+    """One configuration with its predicted request rate (and, under an
+    SLO objective, its predicted attainment and goodput)."""
 
     config: ParallelConfig
     predicted_rps: float
+    predicted_attainment: float = 1.0
+    predicted_goodput_rps: float | None = None
 
 
 @dataclass(frozen=True)
 class RankedPair:
-    """One Seesaw (prefill, decode) pair with its predicted request rate."""
+    """One Seesaw (prefill, decode) pair with its predicted request rate
+    (and, under an SLO objective, attainment and goodput)."""
 
     prefill_config: ParallelConfig
     decode_config: ParallelConfig
     predicted_rps: float
+    predicted_attainment: float = 1.0
+    predicted_goodput_rps: float | None = None
 
     def label(self) -> str:
         return f"{self.prefill_config.label()}->{self.decode_config.label()}"
@@ -53,10 +70,13 @@ def rank_static_configs(
     *,
     allow_dp: bool = True,
     max_num_seqs: int = 512,
+    objective: ServingObjective | None = None,
 ) -> list[RankedConfig]:
-    """All feasible static configs, best predicted throughput first."""
+    """All feasible static configs, best first under ``objective`` (the
+    default throughput objective reproduces the seed ordering)."""
+    objective = objective or ServingObjective()
     avg_in, avg_out = _workload_averages(workload)
-    ranked: list[RankedConfig] = []
+    ranked: list[tuple[tuple[float, ...], RankedConfig]] = []
     for cfg in feasible_configs(model, cluster, allow_dp=allow_dp):
         try:
             rates = predict_request_rate(
@@ -65,13 +85,24 @@ def rank_static_configs(
             )
         except CapacityError:
             continue
-        ranked.append(RankedConfig(config=cfg, predicted_rps=rates.request_rate))
+        pred = objective.predict(rates, avg_in, avg_out)
+        ranked.append(
+            (
+                objective.rank_key(rates, pred),
+                RankedConfig(
+                    config=cfg,
+                    predicted_rps=rates.request_rate,
+                    predicted_attainment=pred.attainment,
+                    predicted_goodput_rps=pred.goodput_rps,
+                ),
+            )
+        )
     if not ranked:
         raise CapacityError(
             f"no feasible configuration for {model.name} on {cluster.describe()}"
         )
-    ranked.sort(key=lambda r: r.predicted_rps, reverse=True)
-    return ranked
+    ranked.sort(key=lambda kr: kr[0], reverse=True)
+    return [r for _, r in ranked]
 
 
 def rank_seesaw_pairs(
@@ -81,15 +112,17 @@ def rank_seesaw_pairs(
     *,
     allow_dp: bool = True,
     max_num_seqs: int = 512,
+    objective: ServingObjective | None = None,
 ) -> list[RankedPair]:
-    """All (cp, cd) pairs with matching DP, best predicted rate first.
+    """All (cp, cd) pairs with matching DP, best first under ``objective``.
 
     Seesaw keeps DP fixed across the transition (Section 4.1), so pairs are
     formed within each DP group.
     """
+    objective = objective or ServingObjective()
     avg_in, avg_out = _workload_averages(workload)
     configs = feasible_configs(model, cluster, allow_dp=allow_dp)
-    pairs: list[RankedPair] = []
+    pairs: list[tuple[tuple[float, ...], RankedPair]] = []
     for cp in configs:
         for cd in configs:
             if cp.dp != cd.dp:
@@ -101,19 +134,25 @@ def rank_seesaw_pairs(
                 )
             except CapacityError:
                 continue
+            pred = objective.predict(rates, avg_in, avg_out)
             pairs.append(
-                RankedPair(
-                    prefill_config=cp,
-                    decode_config=cd,
-                    predicted_rps=rates.request_rate,
+                (
+                    objective.rank_key(rates, pred),
+                    RankedPair(
+                        prefill_config=cp,
+                        decode_config=cd,
+                        predicted_rps=rates.request_rate,
+                        predicted_attainment=pred.attainment,
+                        predicted_goodput_rps=pred.goodput_rps,
+                    ),
                 )
             )
     if not pairs:
         raise CapacityError(
             f"no feasible Seesaw pair for {model.name} on {cluster.describe()}"
         )
-    pairs.sort(key=lambda p: p.predicted_rps, reverse=True)
-    return pairs
+    pairs.sort(key=lambda kp: kp[0], reverse=True)
+    return [p for _, p in pairs]
 
 
 def best_static_config(
@@ -125,21 +164,27 @@ def best_static_config(
     simulate_top: int = 0,
     sample_requests: int = 64,
     options: EngineOptions | None = None,
+    objective: ServingObjective | None = None,
 ) -> ParallelConfig:
     """Best static configuration; optionally re-rank analytic top-k by
-    simulating a workload subsample with the vLLM-like engine."""
-    ranked = rank_static_configs(model, cluster, workload, allow_dp=allow_dp)
+    simulating a workload subsample with the vLLM-like engine. Under an
+    ``slo`` objective the simulated score is measured SLO attainment
+    (throughput breaking ties), not raw throughput."""
+    objective = objective or ServingObjective()
+    ranked = rank_static_configs(
+        model, cluster, workload, allow_dp=allow_dp, objective=objective
+    )
     if simulate_top <= 1:
         return ranked[0].config
     from repro.engines.vllm_like import VllmLikeEngine
 
     sample = workload.subset(min(sample_requests, workload.num_requests))
-    best_cfg, best_rps = None, -1.0
+    best_cfg, best_key = None, None
     for cand in ranked[:simulate_top]:
         engine = VllmLikeEngine(model, cluster, cand.config, options)
-        rps = engine.run(sample).throughput_rps
-        if rps > best_rps:
-            best_cfg, best_rps = cand.config, rps
+        key = objective.result_key(engine.run(sample))
+        if best_key is None or key > best_key:
+            best_cfg, best_key = cand.config, key
     assert best_cfg is not None
     return best_cfg
 
@@ -152,23 +197,43 @@ def best_seesaw_pair(
     allow_dp: bool = True,
     simulate_top: int = 0,
     sample_requests: int = 64,
+    options: "SeesawOptions | None" = None,
+    objective: ServingObjective | None = None,
 ) -> tuple[ParallelConfig, ParallelConfig]:
-    """Best (cp, cd) pair; optionally validated by short simulation."""
-    ranked = rank_seesaw_pairs(model, cluster, workload, allow_dp=allow_dp)
+    """Best (cp, cd) pair; optionally validated by short simulation.
+
+    ``options`` reaches the :class:`~repro.core.engine.SeesawEngine` used
+    for that validation (previously the simulated re-ranking silently
+    ignored arrival/router engine options). Under an ``slo`` objective the
+    engine is also told the predicted arrival rate so its phase loop can
+    weigh waiting against re-sharding.
+    """
+    objective = objective or ServingObjective()
+    ranked = rank_seesaw_pairs(
+        model, cluster, workload, allow_dp=allow_dp, objective=objective
+    )
     if simulate_top <= 1:
         top = ranked[0]
         return top.prefill_config, top.decode_config
     from repro.core.engine import SeesawEngine
+    from repro.core.options import SeesawOptions
 
+    if options is None:
+        options = SeesawOptions()
+    # The hint never overrides an explicitly-supplied rate (e.g. one
+    # measured from a trace) — the validation engines must match what the
+    # caller will actually run.
+    if options.arrival_rate is None and objective.arrival_rate_hint is not None:
+        options = replace(options, arrival_rate=objective.arrival_rate_hint)
     sample = workload.subset(min(sample_requests, workload.num_requests))
-    best, best_rps = None, -1.0
+    best, best_key = None, None
     for cand in ranked[:simulate_top]:
         engine = SeesawEngine(
-            model, cluster, cand.prefill_config, cand.decode_config
+            model, cluster, cand.prefill_config, cand.decode_config, options
         )
-        rps = engine.run(sample).throughput_rps
-        if rps > best_rps:
-            best, best_rps = cand, rps
+        key = objective.result_key(engine.run(sample))
+        if best_key is None or key > best_key:
+            best, best_key = cand, key
     assert best is not None
     return best.prefill_config, best.decode_config
 

@@ -18,6 +18,7 @@ import sys
 from typing import Sequence
 
 from repro.analysis.report import comparison_table, latency_table, routing_table
+from repro.autotuner.objective import OBJECTIVES, ServingObjective
 from repro.autotuner.search import (
     best_seesaw_pair,
     best_static_config,
@@ -34,7 +35,12 @@ from repro.parallel.config import parse_config, parse_transition
 from repro.routing import ROUTER_POLICIES
 from repro.runtime.metrics import EngineResult
 from repro.runtime.trace import render_timeline
-from repro.workloads.arrivals import ARRIVAL_KINDS, TRACE_PREFIX, make_arrivals
+from repro.workloads.arrivals import (
+    ARRIVAL_KINDS,
+    TRACE_PREFIX,
+    make_arrivals,
+    offered_rate,
+)
 from repro.workloads.datasets import sample_dataset
 from repro.workloads.synthetic import constant_workload
 
@@ -78,7 +84,30 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="static",
         help="multi-replica dispatch policy (default static, the seed's "
         "round-robin t=0 deal; jsq / least-work / po2 dispatch at arrival "
-        "time against tracked replica load)",
+        "time against tracked replica load; slo routes to the replica "
+        "with the best predicted attainment)",
+    )
+    parser.add_argument(
+        "--ttft-slo",
+        type=float,
+        default=None,
+        help="TTFT service-level objective in seconds; enables the SLO "
+        "attainment column and feeds SLO-aware tuning/routing",
+    )
+    parser.add_argument(
+        "--tpot-slo",
+        type=float,
+        default=None,
+        help="TPOT service-level objective in seconds per output token "
+        "(e.g. 0.1 = 100 ms/token)",
+    )
+    parser.add_argument(
+        "--objective",
+        choices=list(OBJECTIVES),
+        default="throughput",
+        help="autotuner ranking target: throughput (default, the paper's "
+        "offline metric) or slo (SLO-constrained goodput at the offered "
+        "--request-rate, with simulated re-ranking by attainment)",
     )
 
 
@@ -124,25 +153,67 @@ def _make_workload(args: argparse.Namespace):
     return workload
 
 
-def _print_result(result: EngineResult) -> None:
+def _offered(args: argparse.Namespace, workload) -> float:
+    """Offered request rate of the run (trace replays measure their own).
+
+    A degenerate trace (single timestamp, zero span) has no measurable
+    rate; it is treated as offline (0.0) rather than an error so plain
+    trace replays keep working without SLO flags.
+    """
+    if args.arrival.startswith(TRACE_PREFIX):
+        try:
+            return offered_rate(workload)
+        except ReproError:
+            return 0.0
+    return args.request_rate
+
+
+def _serving_objective(args: argparse.Namespace, workload) -> ServingObjective:
+    """The autotuner objective the CLI flags describe."""
+    return ServingObjective(
+        kind=args.objective,
+        request_rate=_offered(args, workload),
+        ttft_slo=args.ttft_slo,
+        tpot_slo=args.tpot_slo,
+    )
+
+
+def _print_result(
+    result: EngineResult,
+    ttft_slo: float | None = None,
+    tpot_slo: float | None = None,
+) -> None:
     print(result.describe())
     if result.latency is not None:
         print(f"latency: {result.latency.describe()}")
     if result.router is not None and result.router.num_replicas > 1:
         print(f"routing: {result.router.describe()}")
     print(comparison_table({result.label: result}))
+    if (ttft_slo is not None or tpot_slo is not None) and result.latency is not None:
+        print()
+        print(
+            latency_table(
+                {result.label: result},
+                title="latency vs SLO",
+                ttft_slo=ttft_slo,
+                tpot_slo=tpot_slo,
+            )
+        )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     model = get_model(args.model)
     cluster = make_cluster(args.gpu, args.num_gpus)
     workload = _make_workload(args)
+    objective = _serving_objective(args, workload)
     options = EngineOptions(
         chunked_prefill=args.chunked,
         chunk_size=args.chunk_size,
         trace=args.timeline,
         router=args.router,
         router_seed=args.seed,
+        ttft_slo=args.ttft_slo,
+        tpot_slo=args.tpot_slo,
     )
     if "->" in args.config:
         from repro.core.options import SeesawOptions
@@ -154,12 +225,17 @@ def cmd_run(args: argparse.Namespace) -> int:
             trace=args.timeline,
             router=args.router,
             router_seed=args.seed,
+            ttft_slo=args.ttft_slo,
+            tpot_slo=args.tpot_slo,
+            # The SLO objective lets Seesaw's phase loop weigh waiting for
+            # predicted arrivals against re-sharding immediately.
+            arrival_rate=objective.arrival_rate_hint,
         )
         engine = SeesawEngine(model, cluster, cp, cd, seesaw_opts)
     else:
         engine = VllmLikeEngine(model, cluster, parse_config(args.config), options)
     result = engine.run(workload)
-    _print_result(result)
+    _print_result(result, ttft_slo=args.ttft_slo, tpot_slo=args.tpot_slo)
     if args.timeline and engine.last_trace.enabled:
         print()
         print(render_timeline(engine.last_trace))
@@ -170,11 +246,20 @@ def cmd_compare(args: argparse.Namespace) -> int:
     model = get_model(args.model)
     cluster = make_cluster(args.gpu, args.num_gpus)
     workload = _make_workload(args)
-    static_cfg = best_static_config(model, cluster, workload, simulate_top=3)
-    chunk = tune_chunk_size(model, cluster, static_cfg, workload)
+    objective = _serving_objective(args, workload)
     from repro.core.options import SeesawOptions
 
-    router_opts = dict(router=args.router, router_seed=args.seed)
+    slo_opts = dict(ttft_slo=args.ttft_slo, tpot_slo=args.tpot_slo)
+    router_opts = dict(router=args.router, router_seed=args.seed, **slo_opts)
+    static_cfg = best_static_config(
+        model,
+        cluster,
+        workload,
+        simulate_top=3,
+        options=EngineOptions(**router_opts),
+        objective=objective,
+    )
+    chunk = tune_chunk_size(model, cluster, static_cfg, workload)
     vllm = VllmLikeEngine(
         model,
         cluster,
@@ -184,26 +269,44 @@ def cmd_compare(args: argparse.Namespace) -> int:
     vllm_plain = VllmLikeEngine(
         model, cluster, static_cfg, EngineOptions(**router_opts)
     ).run(workload)
-    if vllm_plain.throughput_rps > vllm.throughput_rps:
+    # The chunked-vs-plain pick honors the objective too: under slo, a
+    # faster run that misses the SLOs must not displace a compliant one.
+    if objective.result_key(vllm_plain) > objective.result_key(vllm):
         vllm = vllm_plain
-    cp, cd = best_seesaw_pair(model, cluster, workload, simulate_top=3)
-    seesaw = SeesawEngine(
-        model, cluster, cp, cd, SeesawOptions(**router_opts)
-    ).run(workload)
+    seesaw_run_opts = SeesawOptions(
+        **router_opts, arrival_rate=objective.arrival_rate_hint
+    )
+    cp, cd = best_seesaw_pair(
+        model,
+        cluster,
+        workload,
+        simulate_top=3,
+        options=seesaw_run_opts,
+        objective=objective,
+    )
+    seesaw = SeesawEngine(model, cluster, cp, cd, seesaw_run_opts).run(workload)
     results = {f"vllm {vllm.label}": vllm, f"seesaw {seesaw.label}": seesaw}
     print(
         comparison_table(
             results,
             baseline_key=f"vllm {vllm.label}",
-            title=f"{args.model} / {args.dataset} on {cluster.describe()}",
+            title=f"{args.model} / {args.dataset} on {cluster.describe()} "
+            f"(objective: {objective.describe()})",
         )
     )
     if args.arrival.startswith(TRACE_PREFIX):
         print()
-        print(latency_table(results, title=f"latency under {args.arrival}"))
+        print(latency_table(results, title=f"latency under {args.arrival}", **slo_opts))
     elif args.request_rate > 0:
         print()
-        print(latency_table(results, title=f"latency at {args.request_rate:g} req/s"))
+        print(
+            latency_table(
+                results, title=f"latency at {args.request_rate:g} req/s", **slo_opts
+            )
+        )
+    elif args.ttft_slo is not None or args.tpot_slo is not None:
+        print()
+        print(latency_table(results, title="latency vs SLO (offline)", **slo_opts))
     if any(
         r.router is not None and r.router.num_replicas > 1 for r in results.values()
     ):
@@ -217,21 +320,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     model = get_model(args.model)
     cluster = make_cluster(args.gpu, args.num_gpus)
     workload = _make_workload(args)
+    objective = _serving_objective(args, workload)
     from repro.core.options import SeesawOptions
 
     results: dict[str, EngineResult] = {}
-    opts = EngineOptions(router=args.router, router_seed=args.seed)
-    for ranked in rank_static_configs(model, cluster, workload):
+    slo_opts = dict(ttft_slo=args.ttft_slo, tpot_slo=args.tpot_slo)
+    opts = EngineOptions(router=args.router, router_seed=args.seed, **slo_opts)
+    for ranked in rank_static_configs(model, cluster, workload, objective=objective):
         engine = VllmLikeEngine(model, cluster, ranked.config, opts)
         results[ranked.config.label()] = engine.run(workload)
-    cp, cd = best_seesaw_pair(model, cluster, workload, simulate_top=3)
-    seesaw = SeesawEngine(
-        model, cluster, cp, cd, SeesawOptions(router=args.router, router_seed=args.seed)
-    ).run(workload)
+    seesaw_opts = SeesawOptions(
+        router=args.router,
+        router_seed=args.seed,
+        **slo_opts,
+        arrival_rate=objective.arrival_rate_hint,
+    )
+    cp, cd = best_seesaw_pair(
+        model, cluster, workload, simulate_top=3,
+        options=seesaw_opts, objective=objective,
+    )
+    seesaw = SeesawEngine(model, cluster, cp, cd, seesaw_opts).run(workload)
     results[f"seesaw {seesaw.label}"] = seesaw
+    # The baseline pick honors the objective: under slo, normalizing
+    # against a 0%-attainment config would misstate every speedup.
     best_static = max(
         (k for k in results if not k.startswith("seesaw")),
-        key=lambda k: results[k].throughput_rps,
+        key=lambda k: objective.result_key(results[k]),
     )
     print(
         comparison_table(
@@ -240,6 +354,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             title=f"Static sweep + Seesaw ({args.model}, {args.dataset})",
         )
     )
+    if (args.ttft_slo is not None or args.tpot_slo is not None) and any(
+        r.latency is not None for r in results.values()
+    ):
+        print()
+        print(latency_table(results, title="latency vs SLO", **slo_opts))
     return 0
 
 
@@ -260,6 +379,22 @@ def cmd_predict(args: argparse.Namespace) -> int:
     print(f"decode rate       : {rates.decode_tokens_per_s:,.0f} tok/s")
     print(f"max decode batch  : {rates.max_batch_size}")
     print(f"predicted req rate: {rates.request_rate:.3f} req/s")
+    if args.request_rate > 0 or args.ttft_slo is not None or args.tpot_slo is not None:
+        objective = ServingObjective(
+            kind="slo",
+            request_rate=args.request_rate,
+            ttft_slo=args.ttft_slo,
+            tpot_slo=args.tpot_slo,
+        )
+        pred = objective.predict(rates, args.input_len, args.output_len)
+        print(f"utilization       : {pred.utilization:.2f}")
+        queue = "inf" if pred.queue_wait_mean_s == float("inf") else f"{pred.queue_wait_mean_s:.3f}s"
+        ttft = "inf" if pred.ttft_mean_s == float("inf") else f"{pred.ttft_mean_s:.3f}s"
+        print(f"mean queue wait   : {queue}")
+        print(f"predicted ttft    : {ttft}")
+        print(f"predicted tpot    : {pred.tpot_s * 1e3:.1f} ms/tok")
+        print(f"slo attainment    : {pred.attainment * 100:.0f}%")
+        print(f"goodput           : {pred.goodput_rps:.3f} req/s")
     return 0
 
 
@@ -286,6 +421,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         "routing": lambda: ex.render_routing_sweep(
             ex.run_routing_sweep(num_requests=48)
         ),
+        "slo": lambda: ex.render_slo_sweep(ex.run_slo_sweep(num_requests=32)),
     }
     if args.artifact not in artifacts:
         print(
@@ -334,7 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
     p_repro.add_argument(
-        "artifact", help="table1 | fig1 | ... | fig15 | latency | routing"
+        "artifact", help="table1 | fig1 | ... | fig15 | latency | routing | slo"
     )
     p_repro.set_defaults(func=cmd_reproduce)
 

@@ -120,7 +120,7 @@ class SeesawEngine(BaseEngine):
                 raise SchedulingError("Seesaw phase loop made no progress")
 
             state.admit_arrivals(now)
-            if self._can_prefill(state):
+            if self._can_prefill(state) and not self._defer_prefill(state):
                 now, current = self._reshard(now, current, cp, costs_p, metrics, state)
                 now = self._prefill_phase(state, costs_p, metrics, now)
 
@@ -134,11 +134,12 @@ class SeesawEngine(BaseEngine):
                     f"CPU pool ({state.cpu.capacity_tokens} tokens) nor GPU KV "
                     f"({state.kv.capacity_tokens} tokens)"
                 )
-            elif state.pending and not state.waiting:
+            elif state.pending and (not state.waiting or self._defer_prefill(state)):
                 # Transition-minimizing under live traffic: with nothing
-                # decodable and nothing arrived, keep the current sharding
-                # and sleep until the next arrival (re-sharding now could
-                # only add a transition the arrival may not need).
+                # decodable and nothing arrived (or a prefill batch still
+                # worth growing), keep the current sharding and sleep until
+                # the next arrival (re-sharding now could only add a
+                # transition the arrival may not need).
                 now = self.idle_advance(state, metrics, now)
 
         return self.result_from(requests, metrics, now, finished=state.finished)
@@ -154,6 +155,42 @@ class SeesawEngine(BaseEngine):
         head = state.waiting[0]
         need = head.remaining_prefill + 1
         return state.cpu.fits(need) and state.kv.can_allocate(need)
+
+    def _transition_time(self) -> float:
+        """One decode->prefill weight re-shard's transfer time (cached)."""
+        cached = getattr(self, "_transition_time_cache", None)
+        if cached is None:
+            opts: SeesawOptions = self.options  # type: ignore[assignment]
+            plan = plan_reshard(
+                self.model,
+                replace(self.decode_config, dp=1),
+                replace(self.prefill_config, dp=1),
+                reuse_overlap=opts.reuse_weight_overlap,
+            )
+            cached = plan.transfer_time(self.cluster)
+            self._transition_time_cache = cached
+        return cached
+
+    def _defer_prefill(self, state: SeesawState) -> bool:
+        """Wait-vs-re-shard decision under live traffic.
+
+        When the objective layer told this engine the predicted arrival
+        rate, defer the prefill re-shard while (a) more requests are still
+        en route and (b) the arrivals expected within one transition time
+        outnumber the batch currently waiting — waiting that long roughly
+        doubles the batch the transition amortizes over, while at low
+        rates (fewer than one expected arrival per transition) prefill
+        starts immediately. Consulted only for real transitions: a
+        degenerate (cp == cd) pair never re-shards, so never waits.
+        """
+        opts: SeesawOptions = self.options  # type: ignore[assignment]
+        rate = opts.arrival_rate
+        if rate is None or not state.pending:
+            return False
+        if self.prefill_config == self.decode_config:
+            return False
+        expected = rate * self._transition_time()
+        return len(state.waiting) < expected
 
     def _reshard(
         self,
@@ -355,7 +392,7 @@ class SeesawEngine(BaseEngine):
                 and state.waiting
                 and not opts.eager_transitions
             ):
-                if self._can_prefill(state):
+                if self._can_prefill(state) and not self._defer_prefill(state):
                     break  # transition-minimizing: pool drained, go prefill
             if opts.eager_transitions and state.waiting and self._can_prefill(state):
                 break  # Fig. 2(a) ablation: eager hop to prefill

@@ -32,6 +32,14 @@ class SeesawOptions(EngineOptions):
         prefill_staging_tokens: GPU KV tokens kept free for the prefill
             working set while decode sequences stay resident. ``None``
             defaults to 2x the prefill micro-batch token budget.
+        arrival_rate: Predicted offered request rate (req/s) of the live
+            traffic, as estimated by the autotuner's serving objective.
+            When set, the phase loop consults it before re-sharding to
+            prefill: if more arrivals are expected within one transition
+            time than are currently waiting, it waits for them so the
+            re-shard amortizes over a larger prefill batch
+            (transition-minimizing scheduling under live traffic).
+            ``None`` (the default) keeps the seed's phase behaviour.
     """
 
     overlap_swap: bool = True
@@ -39,6 +47,7 @@ class SeesawOptions(EngineOptions):
     eager_transitions: bool = False
     reuse_weight_overlap: bool = False
     prefill_staging_tokens: int | None = None
+    arrival_rate: float | None = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -47,6 +56,8 @@ class SeesawOptions(EngineOptions):
             and self.prefill_staging_tokens < 0
         ):
             raise ConfigurationError("prefill_staging_tokens must be >= 0")
+        if self.arrival_rate is not None and self.arrival_rate <= 0:
+            raise ConfigurationError("arrival_rate must be positive")
 
     @property
     def staging_tokens(self) -> int:

@@ -54,6 +54,11 @@ class EngineOptions:
             request at its arrival time against tracked replica load.
         router_seed: Seed for stochastic policies (``po2``); ``None`` uses
             the package default seed (still deterministic).
+        ttft_slo: TTFT service-level objective in seconds; fed to the
+            router context so SLO-aware dispatch (``router="slo"``) can
+            route against it. ``None`` = no TTFT target.
+        tpot_slo: TPOT service-level objective in seconds per output
+            token; carried alongside ``ttft_slo``. ``None`` = no target.
     """
 
     max_num_seqs: int = 512
@@ -65,6 +70,8 @@ class EngineOptions:
     trace: bool = False
     router: str = "static"
     router_seed: int | None = None
+    ttft_slo: float | None = None
+    tpot_slo: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_num_seqs < 1 or self.max_batched_tokens < 1 or self.chunk_size < 1:
@@ -75,6 +82,9 @@ class EngineOptions:
             raise ConfigurationError(
                 f"unknown router policy {self.router!r}; one of {ROUTER_POLICIES}"
             )
+        for name, slo in (("ttft_slo", self.ttft_slo), ("tpot_slo", self.tpot_slo)):
+            if slo is not None and slo <= 0:
+                raise ConfigurationError(f"{name} must be positive")
 
 
 def split_requests(
@@ -275,6 +285,8 @@ class BaseEngine(abc.ABC):
             prefill_tokens_per_s=prefill_rate,
             decode_tokens_per_s=decode_rate,
             kv_capacity_tokens=capacity,
+            ttft_slo=self.options.ttft_slo,
+            tpot_slo=self.options.tpot_slo,
         )
 
     def make_costs(self, config: ParallelConfig | None = None) -> StepCostModel:

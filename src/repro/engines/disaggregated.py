@@ -166,6 +166,8 @@ class DisaggregatedEngine:
             kv_capacity_tokens=kv_capacity_tokens(
                 self.model, self._prefill_cluster, replica_cfg
             ),
+            ttft_slo=self.options.ttft_slo,
+            tpot_slo=self.options.tpot_slo,
         )
         router = make_router(
             self.options.router,

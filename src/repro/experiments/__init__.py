@@ -20,12 +20,15 @@ from repro.experiments.fig14_bandwidth import run_fig14, render_fig14
 from repro.experiments.fig15_dp_decode import run_fig15, render_fig15
 from repro.experiments.latency_sweep import run_latency_sweep, render_latency_sweep
 from repro.experiments.routing_sweep import run_routing_sweep, render_routing_sweep
+from repro.experiments.slo_sweep import run_slo_sweep, render_slo_sweep
 
 __all__ = [
     "run_latency_sweep",
     "render_latency_sweep",
     "run_routing_sweep",
     "render_routing_sweep",
+    "run_slo_sweep",
+    "render_slo_sweep",
     "run_table1",
     "render_table1",
     "run_fig1",

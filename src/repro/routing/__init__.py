@@ -14,7 +14,9 @@ This subsystem provides that dispatch layer:
   (round-robin by submission index, bit-exact with the seed's
   ``split_requests``), ``jsq`` (join-shortest-queue by queued prefill
   tokens), ``least-work`` (outstanding prefill plus predicted decode
-  tokens), and ``po2`` (power-of-two-choices sampling, seeded).
+  tokens), ``po2`` (power-of-two-choices sampling, seeded), and ``slo``
+  (best predicted attainment: penalize predicted preemptions, then
+  predicted TTFT-SLO misses, then predicted TTFT).
 - :class:`~repro.routing.stats.RouterStats` — dispatch counts, token
   totals, peak queue depths and imbalance ratios, carried through
   :class:`~repro.runtime.metrics.EngineResult`.
@@ -32,6 +34,7 @@ from repro.routing.policies import (
     Po2Router,
     ROUTER_POLICIES,
     Router,
+    SLORouter,
     StaticRouter,
     make_router,
 )
@@ -49,6 +52,7 @@ __all__ = [
     "RouterContext",
     "RouterStats",
     "RoutingPlan",
+    "SLORouter",
     "StaticRouter",
     "make_router",
 ]

@@ -44,16 +44,25 @@ class RouterContext:
             dispatch that would push the predicted resident KV past it
             counts as a predicted preemption — the storm signal the router
             rebalances on. ``None`` disables storm detection.
+        ttft_slo: TTFT bound (seconds) the ``slo`` dispatch policy routes
+            against; ``None`` degrades that policy to least-predicted-TTFT.
+        tpot_slo: TPOT bound (seconds/token), carried for symmetry — it
+            does not differentiate replicas of one homogeneous group but
+            lets heterogeneous routers (and reports) see the target.
     """
 
     prefill_tokens_per_s: float | None = None
     decode_tokens_per_s: float | None = None
     kv_capacity_tokens: int | None = None
+    ttft_slo: float | None = None
+    tpot_slo: float | None = None
 
     def __post_init__(self) -> None:
         for name, rate in (
             ("prefill_tokens_per_s", self.prefill_tokens_per_s),
             ("decode_tokens_per_s", self.decode_tokens_per_s),
+            ("ttft_slo", self.ttft_slo),
+            ("tpot_slo", self.tpot_slo),
         ):
             if rate is not None and rate <= 0:
                 raise ConfigurationError(f"{name} must be positive")
@@ -162,6 +171,23 @@ class ReplicaLoad:
         """Predicted seconds until this replica drains its queue."""
         now = self.clock if now is None else now
         return max(0.0, self.busy_until - now)
+
+    def predicted_ttft(self, request: Request, now: float | None = None) -> float:
+        """Predicted TTFT of dispatching ``request`` here at ``now``:
+        queue drain (the serial FIFO ahead of it) plus its own prefill."""
+        now = self.clock if now is None else now
+        return self.work_seconds(now) + _duration(
+            request.prompt_len, self.context.prefill_tokens_per_s
+        )
+
+    def would_preempt(self, request: Request, now: float | None = None) -> bool:
+        """Whether dispatching ``request`` here is predicted to push the
+        resident KV past capacity (always False without a capacity)."""
+        cap = self.context.kv_capacity_tokens
+        if cap is None:
+            return False
+        now = self.clock if now is None else now
+        return self.resident_kv_tokens(now) + request.total_tokens > cap
 
     # ------------------------------------------------------------------ #
     # Dispatch and rebalance

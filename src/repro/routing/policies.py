@@ -17,6 +17,12 @@ survivors. The policies differ only in :meth:`Router.select`:
 - ``po2``      — power-of-two-choices: sample two distinct replicas with
   a seeded generator, join the shorter queue. The classic trick that
   captures most of JSQ's benefit with O(1) load probes.
+- ``slo``      — SLO-aware dispatch: route to the replica with the best
+  predicted attainment for *this* request — replicas predicted to
+  preempt are penalized first, then replicas whose predicted TTFT
+  (queue drain + prefill) misses the context's TTFT SLO, then the
+  predicted TTFT itself. Without an SLO in the context it degrades to
+  least-predicted-TTFT. Fully deterministic (ties break by replica id).
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ from repro.routing.stats import RouterStats, RoutingPlan
 from repro.runtime.request import Request
 from repro.utils.rng import make_rng
 
-ROUTER_POLICIES = ("static", "jsq", "least-work", "po2")
+ROUTER_POLICIES = ("static", "jsq", "least-work", "po2", "slo")
 
 # Predicted preemptions on one replica (since its last rebalance) that
 # mark it as undergoing a preemption storm.
@@ -230,8 +236,33 @@ class Po2Router(Router):
         ).replica_id
 
 
+class SLORouter(Router):
+    """SLO-aware dispatch: best predicted attainment for each arrival.
+
+    The per-replica key is lexicographic — (predicted preemption, predicted
+    TTFT-SLO miss, predicted TTFT, replica id) — so a replica that would
+    thrash its KV cache loses to any that would not, an SLO-missing replica
+    loses to any predicted to meet it, and within a class the soonest first
+    token wins. With no TTFT SLO in the context the miss term is constant
+    and the policy is pure least-predicted-TTFT.
+    """
+
+    name = "slo"
+
+    def select(self, request: Request, index: int, now: float) -> int:
+        ttft_slo = self.context.ttft_slo
+
+        def key(load: ReplicaLoad) -> tuple[bool, bool, float, int]:
+            ttft = load.predicted_ttft(request, now)
+            miss = ttft_slo is not None and ttft > ttft_slo
+            return (load.would_preempt(request, now), miss, ttft, load.replica_id)
+
+        return min(self.loads, key=key).replica_id
+
+
 _POLICY_CLASSES: dict[str, type[Router]] = {
-    cls.name: cls for cls in (StaticRouter, JSQRouter, LeastWorkRouter, Po2Router)
+    cls.name: cls
+    for cls in (StaticRouter, JSQRouter, LeastWorkRouter, Po2Router, SLORouter)
 }
 assert tuple(_POLICY_CLASSES) == ROUTER_POLICIES
 

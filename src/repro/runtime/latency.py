@@ -106,11 +106,18 @@ class RequestLatency:
         return max(0.0, self.finish_time - self.arrival_time)
 
     @property
-    def tpot(self) -> float:
+    def has_decode_phase(self) -> bool:
+        """Whether any token was produced by decode (not just prefill)."""
+        return self.output_len > 1
+
+    @property
+    def tpot(self) -> float | None:
         """Mean inter-token time over the decode phase. A request whose
-        only token came from prefill has no decode phase; its TPOT is 0."""
-        if self.output_len <= 1:
-            return 0.0
+        only token came from prefill has no decode phase, so its TPOT is
+        undefined (``None``) — not 0, which would trivially satisfy any
+        TPOT SLO and inflate attainment."""
+        if not self.has_decode_phase:
+            return None
         return max(
             0.0, (self.finish_time - self.first_token_time) / (self.output_len - 1)
         )
@@ -145,7 +152,16 @@ class LatencyStats:
 
     @property
     def tpot(self) -> Summary:
-        return summarize([r.tpot for r in self.records])
+        """Summary over records that have a decode phase (single-token
+        requests have no TPOT and would drag every percentile toward 0).
+        All-prefill runs yield an empty (all-zero, count=0) summary."""
+        values = [r.tpot for r in self.records if r.tpot is not None]
+        if not values:
+            return Summary(
+                count=0, mean=0.0, std=0.0, minimum=0.0,
+                p50=0.0, p90=0.0, p99=0.0, maximum=0.0,
+            )
+        return summarize(values)
 
     @property
     def e2e(self) -> Summary:
@@ -170,21 +186,33 @@ class LatencyStats:
         """Fraction of requests meeting every given SLO (in [0, 1]).
 
         ``None`` bounds are not enforced; with no bounds at all, attainment
-        is trivially 1.0.
+        is trivially 1.0. The TPOT bound only applies to records with a
+        decode phase: a single-token request has no TPOT, so it is judged
+        on the remaining bounds — and excluded from the population entirely
+        when the TPOT bound is the only one given (rather than counted as
+        trivially meeting it). An all-excluded population is vacuously 1.0.
         """
         for name, slo in (("ttft", ttft_slo), ("tpot", tpot_slo), ("e2e", e2e_slo)):
             if slo is not None and slo <= 0:
                 raise SimulationError(f"{name} SLO must be positive")
         met = 0
+        judged = 0
         for r in self.records:
+            tpot_applies = tpot_slo is not None and r.tpot is not None
+            if ttft_slo is None and e2e_slo is None and tpot_slo is not None:
+                if not tpot_applies:
+                    continue  # no applicable bound for this record
+            judged += 1
             if ttft_slo is not None and r.ttft > ttft_slo:
                 continue
-            if tpot_slo is not None and r.tpot > tpot_slo:
+            if tpot_applies and r.tpot > tpot_slo:
                 continue
             if e2e_slo is not None and r.e2e > e2e_slo:
                 continue
             met += 1
-        return met / len(self.records)
+        if judged == 0:
+            return 1.0
+        return met / judged
 
     @classmethod
     def from_sequences(cls, seqs: Iterable[object]) -> "LatencyStats":

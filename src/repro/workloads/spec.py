@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -39,10 +39,40 @@ class WorkloadSpec:
         return self.total_output_tokens / self.total_input_tokens
 
     def subset(self, n: int) -> "WorkloadSpec":
-        """First ``n`` requests (for scaled-down benchmark runs)."""
+        """First ``n`` requests (for scaled-down benchmark runs).
+
+        Arrival-stamped workloads have their subset arrivals time-rescaled
+        so the offered request rate of the subset equals the full
+        workload's: a raw prefix keeps the original timestamps, whose span
+        can misstate the offered load (badly so for bursty processes),
+        which would mistune anything that simulates the subsample
+        (``simulate_top``, ``tune_chunk_size``). Offline workloads (every
+        arrival at 0) pass through unchanged.
+        """
         if n < 1:
             raise ConfigurationError("subset size must be >= 1")
-        return WorkloadSpec(name=f"{self.name}[:{n}]", requests=self.requests[:n])
+        head = self.requests[:n]
+        name = f"{self.name}[:{n}]"
+        full_span = max(r.arrival_time for r in self.requests)
+        if full_span <= 0:
+            return WorkloadSpec(name=name, requests=head)
+        # Preserve the offered rate exactly: n requests over n/rate seconds.
+        target_span = len(head) * full_span / self.num_requests
+        raw_span = max(r.arrival_time for r in head)
+        if raw_span > 0:
+            scale = target_span / raw_span
+            stamped = tuple(
+                replace(r, arrival_time=r.arrival_time * scale) for r in head
+            )
+        else:
+            # The prefix is a t=0 burst of an otherwise-online workload;
+            # spread it evenly at the full workload's offered rate.
+            gap = target_span / len(head)
+            stamped = tuple(
+                replace(r, arrival_time=(i + 1) * gap)
+                for i, r in enumerate(head)
+            )
+        return WorkloadSpec(name=name, requests=stamped)
 
 
 @dataclass(frozen=True)

@@ -250,12 +250,167 @@ class TestOnlineFlags:
         out = capsys.readouterr().out
         assert "latency:" in out
 
+    def test_single_timestamp_trace_runs_as_offline(self, capsys, tmp_path):
+        """Regression: a zero-span trace (one timestamp) has no measurable
+        offered rate; it must run as offline, not error out."""
+        import json
+
+        trace = tmp_path / "one.json"
+        trace.write_text(json.dumps([5.0]))
+        rc = main(
+            [
+                "run",
+                "--dataset",
+                "const:256x16",
+                "--num-requests",
+                "1",
+                "--config",
+                "T4P2",
+                "--arrival",
+                f"trace:{trace}",
+            ]
+        )
+        assert rc == 0
+        assert "req/s" in capsys.readouterr().out
+
     def test_negative_request_rate_rejected(self, capsys):
         rc = main(
             ["run", "--dataset", "const:256x16", "--num-requests", "2", "--request-rate", "-1"]
         )
         assert rc == 1
         assert "--request-rate" in capsys.readouterr().err
+
+    def test_run_with_slo_flags_renders_slo_column(self, capsys):
+        """Regression: latency_table's SLO-attainment column was dead code
+        — no CLI flag ever reached it."""
+        rc = main(
+            [
+                "run",
+                "--dataset",
+                "const:256x16",
+                "--num-requests",
+                "8",
+                "--config",
+                "T4P2",
+                "--request-rate",
+                "2.0",
+                "--ttft-slo",
+                "5.0",
+                "--tpot-slo",
+                "0.5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "| slo" in out  # the attainment column header renders
+        assert "%" in out
+
+    def test_run_offline_with_slo_flags_renders_slo_column(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--dataset",
+                "const:256x16",
+                "--num-requests",
+                "8",
+                "--config",
+                "T4P2",
+                "--ttft-slo",
+                "60.0",
+            ]
+        )
+        assert rc == 0
+        assert "| slo" in capsys.readouterr().out
+
+    def test_compare_with_slo_objective_renders_slo_column(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--model",
+                "15b",
+                "--num-gpus",
+                "4",
+                "--dataset",
+                "const:512x64",
+                "--num-requests",
+                "12",
+                "--request-rate",
+                "1.0",
+                "--objective",
+                "slo",
+                "--ttft-slo",
+                "30.0",
+                "--tpot-slo",
+                "0.5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup:" in out
+        assert "| slo" in out
+        assert "objective: slo" in out
+
+    def test_run_with_slo_router(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--model",
+                "15b",
+                "--num-gpus",
+                "4",
+                "--dataset",
+                "const:512x64",
+                "--num-requests",
+                "8",
+                "--config",
+                "D2T2",
+                "--request-rate",
+                "2.0",
+                "--router",
+                "slo",
+                "--ttft-slo",
+                "10.0",
+            ]
+        )
+        assert rc == 0
+        assert "routing: slo:" in capsys.readouterr().out
+
+    def test_objective_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--objective", "goodput"])
+
+    def test_nonpositive_slo_rejected(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--dataset",
+                "const:256x16",
+                "--num-requests",
+                "2",
+                "--ttft-slo",
+                "-1",
+            ]
+        )
+        assert rc == 1
+        assert "ttft_slo" in capsys.readouterr().err
+
+    def test_predict_with_slo_prints_attainment(self, capsys):
+        rc = main(
+            [
+                "predict",
+                "--model",
+                "34b",
+                "--config",
+                "T4P2",
+                "--request-rate",
+                "0.3",
+                "--ttft-slo",
+                "10.0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "slo attainment" in out and "goodput" in out
 
     def test_compare_online_prints_latency_table(self, capsys):
         rc = main(

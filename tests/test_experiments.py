@@ -112,6 +112,30 @@ class TestFig15:
         assert "Figure 15" in render_fig15(r)
 
 
+class TestSLOSweep:
+    def test_slo_tuning_attains_at_least_the_throughput_pick(self):
+        """Acceptance: at >= 1 sweep point the SLO-tuned config's measured
+        attainment matches or beats the throughput-tuned pick's — and with
+        the default (calibrated) SLOs it strictly beats it somewhere."""
+        from repro.experiments import render_slo_sweep, run_slo_sweep
+
+        r = run_slo_sweep(num_requests=24, load_fractions=(0.3, 0.6))
+        assert len(r.points) == 2
+        assert any(
+            p.slo_attainment >= p.throughput_attainment for p in r.points
+        )
+        assert any(
+            p.slo_attainment > p.throughput_attainment for p in r.points
+        )
+        for p in r.points:
+            assert 0.0 <= p.slo_attainment <= 1.0
+            assert p.slo_goodput_rps >= p.throughput_goodput_rps
+        out = render_slo_sweep(r)
+        assert "SLO sweep" in out
+        assert "slo-att" in out and "goodput" in out
+        assert len(r.attainments("slo")) == 2
+
+
 class TestLatencySweep:
     def test_runs_and_trends(self):
         from repro.experiments import render_latency_sweep, run_latency_sweep

@@ -36,9 +36,12 @@ class TestRequestLatency:
         # 4 decode tokens over 4 seconds.
         assert r.tpot == pytest.approx(1.0)
 
-    def test_single_token_request_has_zero_tpot(self):
+    def test_single_token_request_has_undefined_tpot(self):
+        """Regression: TPOT used to be 0.0 for output_len <= 1, so
+        single-token requests trivially satisfied any TPOT SLO."""
         r = rec(first=2.0, finish=2.0, out=1)
-        assert r.tpot == 0.0
+        assert r.tpot is None
+        assert not r.has_decode_phase
         assert r.ttft == pytest.approx(2.0)
 
     def test_rejects_unset_timestamps(self):
@@ -109,6 +112,39 @@ class TestLatencyStats:
         assert s.slo_attainment(e2e_slo=0.1) == 0.0
         with pytest.raises(SimulationError):
             s.slo_attainment(ttft_slo=-1.0)
+
+    def test_single_token_requests_do_not_inflate_tpot_attainment(self):
+        """Regression: a no-decode-phase record must not count as meeting
+        a TPOT SLO it was never subject to."""
+        s = LatencyStats(
+            records=(
+                rec(rid=0, first=2.0, finish=2.0, out=1),  # no decode phase
+                rec(rid=1, first=2.0, finish=6.0, out=5),  # tpot = 1.0
+            )
+        )
+        # Only a TPOT bound: the single-token record is excluded from the
+        # population entirely (old behaviour scored this 1/2).
+        assert s.slo_attainment(tpot_slo=0.5) == 0.0
+        assert s.slo_attainment(tpot_slo=2.0) == 1.0
+        # Combined bounds: the single-token record is judged on TTFT only.
+        assert s.slo_attainment(ttft_slo=3.0, tpot_slo=0.5) == pytest.approx(0.5)
+        assert s.slo_attainment(ttft_slo=1.0, tpot_slo=2.0) == 0.0
+
+    def test_all_single_token_population_is_vacuous(self):
+        s = LatencyStats(records=(rec(rid=0, first=2.0, finish=2.0, out=1),))
+        assert s.slo_attainment(tpot_slo=0.001) == 1.0  # vacuously met
+        assert s.tpot.count == 0
+        assert s.tpot.p99 == 0.0
+
+    def test_tpot_summary_skips_undefined_records(self):
+        s = LatencyStats(
+            records=(
+                rec(rid=0, first=2.0, finish=2.0, out=1),
+                rec(rid=1, first=2.0, finish=6.0, out=5),
+            )
+        )
+        assert s.tpot.count == 1
+        assert s.tpot.p50 == pytest.approx(1.0)  # not dragged toward 0
 
     def test_merge_is_exact_union(self):
         a = LatencyStats(records=(rec(rid=0, first=1.0, finish=5.0),))

@@ -27,6 +27,7 @@ from repro.routing import (
     Po2Router,
     ROUTER_POLICIES,
     RouterContext,
+    SLORouter,
     StaticRouter,
     make_router,
 )
@@ -201,6 +202,76 @@ class TestPo2:
     def test_single_replica_trivial(self):
         plan = Po2Router(1, context=ctx(), seed=0).route(requests_at([0.0, 1.0]))
         assert plan.assignments == (0, 0)
+
+
+class TestSLORouter:
+    def slo_ctx(self, kv=None, ttft_slo=None):
+        return RouterContext(
+            prefill_tokens_per_s=1000.0,
+            decode_tokens_per_s=1000.0,
+            kv_capacity_tokens=kv,
+            ttft_slo=ttft_slo,
+        )
+
+    def test_in_policy_registry(self):
+        assert "slo" in ROUTER_POLICIES
+        assert make_router("slo", 2).name == "slo"
+
+    def test_deterministic(self):
+        """Same inputs, same assignments — no stochastic state at all."""
+        reqs = requests_at([float(i) * 0.05 for i in range(60)])
+        plan = lambda: SLORouter(
+            3, context=self.slo_ctx(ttft_slo=1.0)
+        ).route(reqs)
+        first = plan().assignments
+        assert first == plan().assignments
+        # The seed argument is inert for this policy (no sampling).
+        seeded = SLORouter(3, context=self.slo_ctx(ttft_slo=1.0), seed=99)
+        assert seeded.route(reqs).assignments == first
+
+    def test_prefers_soonest_predicted_first_token(self):
+        router = SLORouter(2, context=self.slo_ctx())
+        router.loads[0].dispatch(0, Request(0, 5000, 10), 0.0)  # 5s of prefill
+        assert router.select(Request(1, 100, 10), 1, 0.0) == 1
+
+    def test_penalizes_predicted_preemption(self):
+        """A replica predicted to preempt loses even when its predicted
+        TTFT is better."""
+        router = SLORouter(2, context=self.slo_ctx(kv=800))
+        # Replica 0: one request fully resident, filling KV to the brim.
+        router.loads[0].dispatch(0, Request(0, 100, 700), 0.0)
+        # Replica 1: KV-light, but a long prompt queued (unstarted) behind
+        # a small one -> far worse predicted TTFT, no KV pressure.
+        router.loads[1].dispatch(1, Request(1, 50, 2), 0.0)
+        router.loads[1].dispatch(2, Request(2, 5000, 2), 0.0)
+        probe = Request(3, 100, 150)
+        assert router.loads[0].would_preempt(probe, 0.0)
+        assert not router.loads[1].would_preempt(probe, 0.0)
+        assert router.loads[0].predicted_ttft(probe, 0.0) < router.loads[
+            1
+        ].predicted_ttft(probe, 0.0)
+        assert router.select(probe, 3, 0.0) == 1
+
+    def test_slo_miss_breaks_toward_meeting_replica(self):
+        """With a TTFT SLO set, a replica predicted to meet it wins over
+        one predicted to miss, regardless of raw TTFT ordering among the
+        missing class."""
+        router = SLORouter(2, context=self.slo_ctx(ttft_slo=0.5))
+        router.loads[0].dispatch(0, Request(0, 1000, 10), 0.0)  # 1s drain
+        # Replica 0 predicted TTFT ~1.1s (miss); replica 1 ~0.1s (meet).
+        assert router.select(Request(1, 100, 10), 1, 0.0) == 1
+
+    def test_engine_run_carries_slo_stats(self, tiny_model, cluster_a10_4):
+        wl = bursty_arrivals(bimodal_workload(32), 8.0, burstiness=8.0, seed=11)
+        r = VllmLikeEngine(
+            tiny_model,
+            cluster_a10_4,
+            parse_config("D2T2"),
+            EngineOptions(router="slo", ttft_slo=2.0, tpot_slo=0.5),
+        ).run(wl)
+        assert r.router is not None
+        assert r.router.policy == "slo"
+        assert r.router.num_requests == 32
 
 
 class TestStormRebalance:

@@ -128,6 +128,67 @@ class TestScheduling:
             > mk(SeesawOptions()).total_time
         )
 
+    def test_arrival_rate_none_is_bit_exact(self, model_34b, cluster_a10_8):
+        """The wait-vs-re-shard logic is gated on arrival_rate: unset, the
+        phase loop is byte-for-byte the seed's (goldens survive)."""
+        from repro.workloads.arrivals import poisson_arrivals
+
+        wl = poisson_arrivals(arxiv_workload(24, seed=1), 0.3, seed=1)
+        mk = lambda opts: SeesawEngine(
+            model_34b,
+            cluster_a10_8,
+            parse_config("P8"),
+            parse_config("T4P2"),
+            opts,
+        ).run(wl)
+        default = mk(None)
+        explicit = mk(SeesawOptions(arrival_rate=None))
+        assert default.total_time == explicit.total_time
+        assert default.phase_time == explicit.phase_time
+
+    def test_arrival_aware_waiting_amortizes_transitions(
+        self, model_34b, cluster_a10_8
+    ):
+        """Told the offered rate, the phase loop waits for predicted
+        arrivals instead of re-sharding for every small batch — it must
+        finish all requests without extra transitions."""
+        from repro.workloads.arrivals import poisson_arrivals
+
+        wl = poisson_arrivals(arxiv_workload(24, seed=1), 0.3, seed=1)
+        mk = lambda rate: SeesawEngine(
+            model_34b,
+            cluster_a10_8,
+            parse_config("P8"),
+            parse_config("T4P2"),
+            SeesawOptions(arrival_rate=rate),
+        ).run(wl)
+        baseline = mk(None)
+        aware = mk(0.3)
+        assert aware.num_requests == baseline.num_requests == 24
+        assert aware.latency is not None
+        assert aware.latency.num_requests == 24
+        assert aware.transitions <= baseline.transitions
+
+    def test_degenerate_pair_ignores_arrival_rate(
+        self, model_34b, cluster_a10_8
+    ):
+        """cp == cd never re-shards, so there is nothing to wait for."""
+        from repro.workloads.arrivals import poisson_arrivals
+
+        wl = poisson_arrivals(constant_workload(12, 512, 32), 1.0, seed=0)
+        mk = lambda rate: SeesawEngine(
+            model_34b,
+            cluster_a10_8,
+            parse_config("T4P2"),
+            parse_config("T4P2"),
+            SeesawOptions(arrival_rate=rate),
+        ).run(wl)
+        assert mk(None).total_time == mk(5.0).total_time
+
+    def test_arrival_rate_validated(self):
+        with pytest.raises(ConfigurationError):
+            SeesawOptions(arrival_rate=0.0)
+
     def test_multiple_cycles_when_cpu_small(self, model_34b, cluster_a10_8):
         """Shrinking the CPU pool forces several prefill/decode cycles."""
         from dataclasses import replace

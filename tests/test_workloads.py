@@ -30,6 +30,52 @@ class TestSpec:
         with pytest.raises(ConfigurationError):
             wl.subset(0)
 
+    def test_offline_subset_keeps_zero_arrivals(self):
+        wl = constant_workload(10, 100, 20)
+        assert all(r.arrival_time == 0.0 for r in wl.subset(4).requests)
+
+    def test_subset_preserves_offered_rate(self):
+        """Regression: a raw prefix kept the original timestamps, so a
+        bursty workload's subsample could grossly misstate the offered
+        load that simulate_top / tune_chunk_size tuned against."""
+        from repro.workloads.arrivals import bursty_arrivals, offered_rate
+
+        wl = bursty_arrivals(
+            constant_workload(64, 100, 20), 4.0, burstiness=16.0, seed=3
+        )
+        full = offered_rate(wl)
+        for n in (8, 16, 48):
+            sub = wl.subset(n)
+            assert sub.num_requests == n
+            assert offered_rate(sub) == pytest.approx(full)
+            # Arrival order survives the rescale.
+            stamps = [r.arrival_time for r in sub.requests]
+            assert stamps == sorted(stamps)
+        # The full-size "subset" is the identity on timestamps.
+        assert [r.arrival_time for r in wl.subset(64).requests] == [
+            r.arrival_time for r in wl.requests
+        ]
+
+    def test_subset_of_burst_prefix_spreads_at_full_rate(self):
+        """A prefix that is entirely a t=0 burst of an online workload is
+        re-stamped (evenly) rather than mistaken for an offline run."""
+        from dataclasses import replace
+
+        from repro.workloads.arrivals import offered_rate
+
+        base = constant_workload(8, 100, 20)
+        stamps = [0.0, 0.0, 0.0, 1.0, 2.0, 3.0, 4.0, 4.0]
+        wl = WorkloadSpec(
+            name="burst",
+            requests=tuple(
+                replace(r, arrival_time=t)
+                for r, t in zip(base.requests, stamps)
+            ),
+        )
+        sub = wl.subset(3)
+        assert offered_rate(sub) == pytest.approx(offered_rate(wl))
+        assert all(r.arrival_time > 0 for r in sub.requests)
+
     def test_stats(self):
         stats = workload_stats(constant_workload(5, 100, 20))
         assert stats.input_mean == 100
