@@ -94,6 +94,28 @@ def comparison_table(
     return ascii_table(headers, rows, title=title)
 
 
+def router_observability_cells(stats) -> tuple[str, str, str]:
+    """(preempt, moved, idle) table cells for one router-stats record.
+
+    Event-coupled runs report what was *measured* — observed preemptions
+    (starred), re-dispatched requests, mean per-replica idle fraction —
+    while decoupled runs report the predicted/rebalanced counters and no
+    idle column. Shared by :func:`routing_table` and the coupled-sweep
+    renderer so the two never drift.
+    """
+    if stats.coupled:
+        return (
+            f"{stats.total_observed_preemptions}*",
+            str(stats.redispatched_requests),
+            f"{stats.mean_idle_fraction * 100:.0f}%",
+        )
+    return (
+        str(stats.total_predicted_preemptions),
+        str(stats.rebalanced_requests),
+        "-",
+    )
+
+
 def routing_table(
     results: Mapping[str, EngineResult],
     title: str | None = None,
@@ -102,10 +124,12 @@ def routing_table(
 
     Columns: dispatch policy, replica count, per-replica dispatched-token
     spread (min/mean/max), dispatched-token and peak-queued-prefill
-    imbalance ratios (max/mean; 1.00 = perfectly balanced), predicted
-    preemptions, and how many pending requests storm rebalances moved.
-    Runs without multi-replica routing stats are skipped; raises if none
-    have any.
+    imbalance ratios (max/mean; 1.00 = perfectly balanced), preemptions
+    (predicted on the decoupled path, *observed* on the event-coupled
+    path, marked ``*``), how many pending requests storm handling moved
+    (rebalanced / re-dispatched), and — for coupled runs — the mean
+    per-replica idle fraction. Runs without multi-replica routing stats
+    are skipped; raises if none have any.
     """
     rows = []
     for k, r in results.items():
@@ -113,16 +137,18 @@ def routing_table(
         if stats is None or stats.num_replicas <= 1:
             continue
         tokens = stats.tokens_per_replica
+        preempt, moved, idle = router_observability_cells(stats)
         rows.append(
             [
                 k,
-                stats.policy,
+                stats.policy + ("+coupled" if stats.coupled else ""),
                 str(stats.num_replicas),
                 f"{min(tokens)}/{sum(tokens) / len(tokens):.0f}/{max(tokens)}",
                 f"{stats.token_imbalance:.2f}",
                 f"{stats.peak_queue_imbalance:.2f}",
-                str(stats.total_predicted_preemptions),
-                str(stats.rebalanced_requests),
+                preempt,
+                moved,
+                idle,
             ]
         )
     if not rows:
@@ -134,8 +160,9 @@ def routing_table(
         "tokens min/mean/max",
         "tok-imbal",
         "queue-imbal",
-        "pred-preempt",
-        "rebalanced",
+        "preempt",
+        "moved",
+        "idle",
     ]
     return ascii_table(headers, rows, title=title)
 

@@ -14,20 +14,29 @@ offered load. :class:`ServingObjective` makes the target explicit:
   then scores measured ``slo_attainment`` instead of throughput.
 
 The queueing correction is deliberately first-order, in the spirit of
-first-principles infrastructure modeling: the cluster is an M/M/1 station
-whose service rate is the analytic request capacity ``mu`` of the
-configuration. At offered rate ``lambda`` (utilization ``rho``):
+first-principles infrastructure modeling: the cluster is an M/M/c
+station — ``c`` data-parallel replicas, each serving at ``mu / c`` where
+``mu`` is the configuration's aggregate analytic request capacity. At
+offered rate ``lambda`` (utilization ``rho = lambda / mu``), with
+``C = ErlangC(c, lambda / (mu / c))`` the probability an arrival waits:
 
-- mean queue wait      ``W_q = rho / (mu - lambda)``      (infinite at rho >= 1)
-- wait distribution    ``P(W_q <= t) = 1 - rho * exp(-(mu - lambda) t)``
+- mean queue wait      ``W_q = C / (mu - lambda)``        (infinite at rho >= 1)
+- wait distribution    ``P(W_q <= t) = 1 - C * exp(-(mu - lambda) t)``
 - TTFT                 queue wait + this request's prefill on one replica
 - TPOT                 one decode iteration of the capacity-bound batch
 
-TTFT attainment is the closed-form probability the queue wait leaves
-enough slack for the prefill; TPOT is deterministic in the analytic
-model, so its bound is a hard gate. Both are exactly the cheap-search
-trade: rank the whole space analytically, then (optionally) validate the
-top-k with short simulations.
+At ``c = 1`` Erlang C reduces to ``C = rho`` and both formulas are the
+classic M/M/1 expressions the seed objective used (bit-for-bit — the
+``dp == 1`` ranking is unchanged); at ``c > 1`` the pooled model's wait
+probability ``rho`` is replaced by Erlang C — an arrival queues only
+when *every* replica is busy, which the pooled single-server fiction
+could not express (it overstated queueing at moderate load while
+pretending service itself ran ``c`` times faster). TTFT attainment is
+the closed-form probability the queue wait leaves enough slack for the
+prefill; TPOT is deterministic in the analytic model, so its bound is a
+hard gate. Both are exactly the cheap-search trade: rank the whole space
+analytically, then (optionally) validate the top-k with short
+simulations.
 """
 
 from __future__ import annotations
@@ -40,6 +49,35 @@ from repro.errors import ConfigurationError
 from repro.runtime.metrics import EngineResult
 
 OBJECTIVES = ("throughput", "slo")
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang C: probability an M/M/c arrival waits in queue.
+
+    ``offered_load`` is ``a = lambda / mu_server`` in erlangs. Returns 1.0
+    for an unstable queue (``a >= servers``). Computed with the stable
+    partial-sum recurrence (no factorials); ``servers == 1`` returns
+    exactly ``a`` — the M/M/1 probability-of-wait ``rho`` — so single-
+    replica rankings are bit-identical to the M/M/1 formulation.
+    """
+    if servers < 1:
+        raise ConfigurationError("servers must be >= 1")
+    if offered_load < 0:
+        raise ConfigurationError("offered_load must be >= 0")
+    if offered_load == 0:
+        return 0.0
+    if offered_load >= servers:
+        return 1.0
+    if servers == 1:
+        return offered_load
+    # sum_{k<c} a^k/k! via the running term; the c-th term feeds the tail.
+    term = 1.0
+    total = 1.0
+    for k in range(1, servers):
+        term *= offered_load / k
+        total += term
+    tail = term * offered_load / servers / (1.0 - offered_load / servers)
+    return tail / (total + tail)
 
 
 @dataclass(frozen=True)
@@ -122,14 +160,21 @@ class ServingObjective:
         # token, so the per-sequence inter-token time is the iteration.
         tpot = rates.max_batch_size / rates.decode_tokens_per_s
 
+        # M/M/c over the dp replicas (each serving at mu / dp): the wait
+        # probability is Erlang C on the offered load in erlangs. dp == 1
+        # reduces to the M/M/1 expressions bit-exactly (erlang_c(1, a) == a
+        # == rho, with the same divisions).
         if lam <= 0:
+            wait_prob = 0.0
             queue_wait = 0.0
         elif rho >= 1.0:
+            wait_prob = 1.0
             queue_wait = math.inf
         else:
-            queue_wait = rho / (mu - lam)
+            wait_prob = erlang_c(dp, lam / (mu / dp))
+            queue_wait = wait_prob / (mu - lam)
 
-        attainment = self._ttft_attainment(rho, mu, lam, prefill_latency)
+        attainment = self._ttft_attainment(wait_prob, rho, mu, lam, prefill_latency)
         if self.tpot_slo is not None and tpot > self.tpot_slo:
             attainment = 0.0
         served = mu if lam <= 0 else min(lam, mu)
@@ -145,9 +190,17 @@ class ServingObjective:
         )
 
     def _ttft_attainment(
-        self, rho: float, mu: float, lam: float, prefill_latency: float
+        self,
+        wait_prob: float,
+        rho: float,
+        mu: float,
+        lam: float,
+        prefill_latency: float,
     ) -> float:
-        """P(TTFT <= ttft_slo) under the M/M/1 waiting-time distribution."""
+        """P(TTFT <= ttft_slo) under the M/M/c waiting-time distribution:
+        ``P(W_q <= t) = 1 - C * exp(-(c*mu_server - lam) t)`` with
+        ``c * mu_server = mu`` and ``C`` the Erlang C wait probability
+        (``rho`` at c=1, recovering the M/M/1 curve exactly)."""
         if self.ttft_slo is None:
             return 1.0
         slack = self.ttft_slo - prefill_latency
@@ -157,7 +210,7 @@ class ServingObjective:
             return 1.0
         if rho >= 1.0:
             return 0.0  # unstable: the queue (and every TTFT) diverges
-        return 1.0 - rho * math.exp(-(mu - lam) * slack)
+        return 1.0 - wait_prob * math.exp(-(mu - lam) * slack)
 
     # ------------------------------------------------------------------ #
     # Ranking keys

@@ -37,6 +37,7 @@ from repro.runtime.metrics import EngineResult
 from repro.runtime.trace import render_timeline
 from repro.workloads.arrivals import (
     ARRIVAL_KINDS,
+    DIURNAL_PREFIX,
     TRACE_PREFIX,
     make_arrivals,
     offered_rate,
@@ -68,15 +69,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         type=_arrival_kind,
         default="poisson",
         help="arrival process used when --request-rate > 0 "
-        f"({' | '.join(ARRIVAL_KINDS)}), or {TRACE_PREFIX}<path> to replay "
-        "a JSON/CSV timestamp log (ignores --request-rate)",
+        f"({' | '.join(ARRIVAL_KINDS)}), {DIURNAL_PREFIX}<period-seconds> "
+        "for a sinusoidal day-shape at the mean --request-rate, or "
+        f"{TRACE_PREFIX}<path> to replay a JSON/CSV timestamp log (at its "
+        "recorded rate, or rescaled to --request-rate when set)",
     )
     parser.add_argument(
         "--burstiness",
         type=float,
-        default=4.0,
+        default=None,
         help="squared coefficient of variation of bursty inter-arrival "
-        "gaps (1.0 = Poisson); only used with --arrival bursty",
+        "gaps (1.0 = Poisson); with --arrival bursty it defaults to 4.0, "
+        f"and with --arrival {DIURNAL_PREFIX}<period> it picks the base "
+        "process under the day-shape (default 1.0, Poisson gaps)",
     )
     parser.add_argument(
         "--router",
@@ -86,6 +91,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "round-robin t=0 deal; jsq / least-work / po2 dispatch at arrival "
         "time against tracked replica load; slo routes to the replica "
         "with the best predicted attainment)",
+    )
+    parser.add_argument(
+        "--coupled",
+        action="store_true",
+        help="event-coupled cluster simulation: run all DP replicas on one "
+        "shared clock and dispatch each arrival against their observed "
+        "load (actual queues, measured preemptions) instead of the "
+        "predicted load ledger",
     )
     parser.add_argument(
         "--ttft-slo",
@@ -112,11 +125,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def _arrival_kind(value: str) -> str:
-    """argparse type for --arrival: a named process or trace:<path>."""
-    if value in ARRIVAL_KINDS or value.startswith(TRACE_PREFIX):
+    """argparse type for --arrival: a named process, diurnal:<period> or
+    trace:<path>."""
+    if (
+        value in ARRIVAL_KINDS
+        or value.startswith(TRACE_PREFIX)
+        or value.startswith(DIURNAL_PREFIX)
+    ):
         return value
     raise argparse.ArgumentTypeError(
-        f"must be one of {', '.join(ARRIVAL_KINDS)} or {TRACE_PREFIX}<path>"
+        f"must be one of {', '.join(ARRIVAL_KINDS)}, "
+        f"{DIURNAL_PREFIX}<period> or {TRACE_PREFIX}<path>"
     )
 
 
@@ -141,13 +160,19 @@ def _make_workload(args: argparse.Namespace):
             "0 runs offline with every request at t=0"
         )
     if args.arrival.startswith(TRACE_PREFIX):
-        workload = make_arrivals(workload, args.arrival)
+        workload = make_arrivals(workload, args.arrival, args.request_rate)
     elif args.request_rate > 0:
+        burstiness = args.burstiness
+        if burstiness is None:
+            # Bursty traffic defaults to the heavy cv2=4 regime; every
+            # other process (diurnal's base included) defaults to
+            # memoryless gaps unless the flag is set explicitly.
+            burstiness = 4.0 if args.arrival == "bursty" else 1.0
         workload = make_arrivals(
             workload,
             args.arrival,
             args.request_rate,
-            burstiness=args.burstiness,
+            burstiness=burstiness,
             seed=args.seed,
         )
     return workload
@@ -214,6 +239,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         router_seed=args.seed,
         ttft_slo=args.ttft_slo,
         tpot_slo=args.tpot_slo,
+        coupled=args.coupled,
     )
     if "->" in args.config:
         from repro.core.options import SeesawOptions
@@ -227,6 +253,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             router_seed=args.seed,
             ttft_slo=args.ttft_slo,
             tpot_slo=args.tpot_slo,
+            coupled=args.coupled,
             # The SLO objective lets Seesaw's phase loop weigh waiting for
             # predicted arrivals against re-sharding immediately.
             arrival_rate=objective.arrival_rate_hint,
@@ -250,7 +277,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
     from repro.core.options import SeesawOptions
 
     slo_opts = dict(ttft_slo=args.ttft_slo, tpot_slo=args.tpot_slo)
-    router_opts = dict(router=args.router, router_seed=args.seed, **slo_opts)
+    router_opts = dict(
+        router=args.router, router_seed=args.seed, coupled=args.coupled, **slo_opts
+    )
     static_cfg = best_static_config(
         model,
         cluster,
@@ -325,13 +354,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     results: dict[str, EngineResult] = {}
     slo_opts = dict(ttft_slo=args.ttft_slo, tpot_slo=args.tpot_slo)
-    opts = EngineOptions(router=args.router, router_seed=args.seed, **slo_opts)
+    opts = EngineOptions(
+        router=args.router, router_seed=args.seed, coupled=args.coupled, **slo_opts
+    )
     for ranked in rank_static_configs(model, cluster, workload, objective=objective):
         engine = VllmLikeEngine(model, cluster, ranked.config, opts)
         results[ranked.config.label()] = engine.run(workload)
     seesaw_opts = SeesawOptions(
         router=args.router,
         router_seed=args.seed,
+        coupled=args.coupled,
         **slo_opts,
         arrival_rate=objective.arrival_rate_hint,
     )
@@ -422,6 +454,9 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
             ex.run_routing_sweep(num_requests=48)
         ),
         "slo": lambda: ex.render_slo_sweep(ex.run_slo_sweep(num_requests=32)),
+        "coupled": lambda: ex.render_coupled_sweep(
+            ex.run_coupled_sweep(num_requests=40)
+        ),
     }
     if args.artifact not in artifacts:
         print(
@@ -470,7 +505,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
     p_repro.add_argument(
-        "artifact", help="table1 | fig1 | ... | fig15 | latency | routing | slo"
+        "artifact",
+        help="table1 | fig1 | ... | fig15 | latency | routing | slo | coupled",
     )
     p_repro.set_defaults(func=cmd_reproduce)
 

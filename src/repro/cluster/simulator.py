@@ -1,0 +1,219 @@
+"""Event-coupled cluster simulation: every DP replica on one shared clock.
+
+The decoupled router (:meth:`repro.routing.policies.Router.route`) commits
+every dispatch before any replica simulates, ranking replicas by a
+*predicted* load ledger. :class:`ClusterSimulator` instead interleaves
+dispatch into the discrete-event loop: it repeatedly pops the earliest
+event among {next request arrival, each replica's next iteration
+boundary}, runs replica iterations up to each arrival, and only then asks
+the dispatch policy to place the arrival — against the replicas'
+**observed** state (actual queued tokens, measured preemptions, real idle
+gaps) via :class:`~repro.cluster.replica.ObservedLoad`.
+
+Storm handling is observed too: when a replica's *measured* preemption
+count since its last reset crosses the storm threshold, every request its
+scheduler has not yet seen is withdrawn and re-dispatched to the calmest
+replica — the coupled analog of the decoupled router's
+predicted-preemption rebalancing.
+
+With the ``static`` policy nothing depends on load at all, so a coupled
+run reproduces the decoupled per-replica results bit-exactly on offline
+workloads (the golden-equivalence contract the tests pin).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence as TypingSequence, TYPE_CHECKING
+
+from repro.cluster.replica import ObservedLoad, ReplicaSim
+from repro.errors import ConfigurationError, SimulationError
+from repro.routing.policies import DEFAULT_STORM_PREEMPTIONS
+from repro.routing.stats import RouterStats
+from repro.runtime.metrics import EngineResult, merge_dp_results
+from repro.runtime.request import Request
+from repro.runtime.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engines.base import BaseEngine
+
+
+class ClusterSimulator:
+    """Shared-clock co-simulation of an engine's DP replicas."""
+
+    def __init__(
+        self,
+        engine: "BaseEngine",
+        requests: TypingSequence[Request],
+        storm_preemptions: int = DEFAULT_STORM_PREEMPTIONS,
+    ) -> None:
+        self.engine = engine
+        self.requests = list(requests)
+        if not self.requests:
+            raise ConfigurationError("cannot simulate an empty workload")
+        if storm_preemptions < 1:
+            raise ConfigurationError("storm_preemptions must be >= 1")
+        # The policy object supplies select() and the rate context; its
+        # predictive ledgers are replaced by observed views of the live
+        # replica simulations.
+        self.policy = engine.make_router(self.requests)
+        self.num_replicas = self.policy.num_replicas
+        self.sims = [engine.start_replica(i) for i in range(self.num_replicas)]
+        self.loads = [ObservedLoad(sim, self.policy.context) for sim in self.sims]
+        self.policy.loads = self.loads
+        self.storm_preemptions = storm_preemptions
+        self.redispatched_requests = 0
+        self.redispatches = 0
+        # Per-dispatch decision log: (request_id, replica, observed queued
+        # prefill tokens per replica at the decision instant). Consumed by
+        # tests and debugging; cheap at simulation scale.
+        self.dispatch_log: list[tuple[int, int, tuple[float, ...]]] = []
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> EngineResult:
+        """Co-simulate to completion; returns the merged cluster result."""
+        reqs = self.requests
+        order = sorted(range(len(reqs)), key=lambda i: (reqs[i].arrival_time, i))
+        trace_armed = self.engine.options.trace
+        traced_sim: ReplicaSim | None = None
+        last_now = -1.0
+
+        for i in order:
+            req = reqs[i]
+            now = req.arrival_time
+            if now > last_now:
+                # Stepping to a new instant: refresh the recency window so
+                # only preemptions committed by *this* advance read as
+                # "just happened" (the decaying slo penalty).
+                for sim in self.sims:
+                    sim.preemption_snapshot = sim.observed_preemptions()
+                last_now = now
+            # Pop every replica event (iteration boundary or idle jump)
+            # that precedes this arrival.
+            for sim in self.sims:
+                sim.advance(now)
+            queues = tuple(load.queued_prefill_tokens(now) for load in self.loads)
+            rid = self.policy.select(req, i, now)
+            if not 0 <= rid < self.num_replicas:
+                raise SimulationError(
+                    f"{self.policy.name} selected replica {rid} of "
+                    f"{self.num_replicas}"
+                )
+            sim = self.sims[rid]
+            if trace_armed:
+                # Trace the first replica that receives work (the coupled
+                # analog of tracing the first non-empty partition).
+                sim.run.trace = Trace()
+                traced_sim = sim
+                trace_armed = False
+            sim.inject(req)
+            sim.note_queue_depth(now)
+            self.dispatch_log.append((req.request_id, rid, queues))
+            if self.policy.rebalance_on_storm and self.num_replicas > 1:
+                moved = self._redispatch_storms(now)
+                if moved:
+                    self.redispatched_requests += moved
+                    self.redispatches += 1
+
+        for sim in self.sims:
+            sim.finish()
+        if traced_sim is not None:
+            self.engine.last_trace = traced_sim.run.trace
+
+        results = [
+            self.engine._replica_result(sim.run, sim.clock)
+            for sim in self.sims
+            if sim.run.requests
+        ]
+        if not results:
+            raise SimulationError("coupled run produced no replica results")
+        return merge_dp_results(
+            results,
+            engine=self.engine.name,
+            label=self.engine.label(),
+            router=self._stats(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Observed storm re-dispatch
+    # ------------------------------------------------------------------ #
+
+    def _redispatch_storms(self, now: float) -> int:
+        """Move unseen requests away from replicas in a measured storm.
+
+        A replica whose observed preemption count since its last reset
+        reached the threshold has every still-pending (never admitted)
+        request withdrawn and re-dispatched to the least-loaded calm
+        replica — ranked at the shared instant ``now`` so replicas whose
+        committed iterations overshot the clock are compared fairly.
+        Requiring a calm target keeps two storming replicas from bouncing
+        the same requests back and forth; with no calm replica the work
+        stays put.
+        """
+        storming = [
+            sim
+            for sim in self.sims
+            if sim.observed_preemptions() - sim.preemption_mark
+            >= self.storm_preemptions
+        ]
+        if not storming:
+            return 0
+        calm = [sim for sim in self.sims if sim not in storming]
+        if not calm:
+            return 0
+        moved = 0
+        for src in storming:
+            stolen = src.steal_pending()
+            # Re-arm the watermark whether or not anything was stealable:
+            # a measured storm is a point-in-time event, and leaving the
+            # mark would exclude the replica from the calm pool forever.
+            src.preemption_mark = src.observed_preemptions()
+            if not stolen:
+                continue
+            for req in stolen:
+                target = min(
+                    calm, key=lambda s: (s.outstanding_tokens(now), s.replica_id)
+                )
+                target.inject(req)
+                target.note_queue_depth(now)
+                target.redispatched_in += 1
+                moved += 1
+        return moved
+
+    # ------------------------------------------------------------------ #
+    # Stats
+    # ------------------------------------------------------------------ #
+
+    def _stats(self) -> RouterStats:
+        n = self.num_replicas
+        # Idle is judged against the cluster makespan: a replica that
+        # drained early and sat unused while others kept working is idle
+        # for that tail too (that is exactly the imbalance signal).
+        makespan = max(s.clock for s in self.sims)
+        idle_fraction = tuple(
+            min(1.0, (s.idle_time() + (makespan - s.clock)) / makespan)
+            if makespan > 0
+            else 0.0
+            for s in self.sims
+        )
+        return RouterStats(
+            policy=self.policy.name,
+            num_replicas=n,
+            requests_per_replica=tuple(len(s.run.requests) for s in self.sims),
+            tokens_per_replica=tuple(
+                sum(r.total_tokens for r in s.run.requests) for s in self.sims
+            ),
+            peak_queued_prefill_tokens=tuple(
+                s.peak_queued_prefill_tokens for s in self.sims
+            ),
+            # Nothing is *predicted* on the coupled path; the measured
+            # counter rides in observed_preemptions instead.
+            predicted_preemptions=(0,) * n,
+            coupled=True,
+            observed_preemptions=tuple(
+                s.observed_preemptions() for s in self.sims
+            ),
+            idle_fraction=idle_fraction,
+            redispatched_requests=self.redispatched_requests,
+            redispatches=self.redispatches,
+        )

@@ -23,11 +23,12 @@ the overlap pipeline, or transition-minimizing scheduling individually.
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Iterator
 
 from repro.core.options import SeesawOptions
 from repro.core.state import SeesawState
 from repro.costmodel.step import ITERATION_OVERHEAD, StepCostModel
-from repro.engines.base import BaseEngine, ReplicaState
+from repro.engines.base import BaseEngine, ReplicaRun, ReplicaState
 from repro.errors import CapacityError, ConfigurationError, SchedulingError
 from repro.hardware.cluster import ClusterSpec
 from repro.models.config import ModelConfig
@@ -35,7 +36,7 @@ from repro.parallel.config import ParallelConfig, transition_label
 from repro.parallel.memory import kv_capacity_tokens
 from repro.parallel.resharding import plan_reshard
 from repro.runtime.kvcache import KVCacheManager
-from repro.runtime.metrics import EngineResult, RunMetrics
+from repro.runtime.metrics import RunMetrics
 from repro.runtime.request import Request, Sequence, SequenceState
 
 
@@ -87,13 +88,10 @@ class SeesawEngine(BaseEngine):
     # Replica simulation
     # ------------------------------------------------------------------ #
 
-    def _run_replica(self, requests: list[Request], replica_id: int) -> EngineResult:
+    def _replica_setup(self, requests: list[Request], replica_id: int) -> ReplicaRun:
         opts: SeesawOptions = self.options  # type: ignore[assignment]
         cp = replace(self.prefill_config, dp=1)
         cd = replace(self.decode_config, dp=1)
-        costs_p = StepCostModel(self.model, self.cluster, cp, kv_layout=opts.kv_layout)
-        costs_d = StepCostModel(self.model, self.cluster, cd, kv_layout=opts.kv_layout)
-
         capacity = min(
             kv_capacity_tokens(self.model, self.cluster, cp),
             kv_capacity_tokens(self.model, self.cluster, cd),
@@ -106,27 +104,46 @@ class SeesawEngine(BaseEngine):
             else 0
         )
         state = SeesawState(requests, kv, cpu_capacity_tokens=cpu_tokens)
-        metrics = RunMetrics()
-        now = 0.0
-        current = cp  # initial weights are laid out for prefill
+        run = ReplicaRun(replica_id, requests, state, RunMetrics())
+        run.cp, run.cd = cp, cd
+        run.costs_p = StepCostModel(
+            self.model, self.cluster, cp, kv_layout=opts.kv_layout
+        )
+        run.costs_d = StepCostModel(
+            self.model, self.cluster, cd, kv_layout=opts.kv_layout
+        )
+        run.current = cp  # initial weights are laid out for prefill
+        return run
+
+    def _replica_loop(self, run: ReplicaRun, start: float) -> Iterator[float]:
+        opts: SeesawOptions = self.options  # type: ignore[assignment]
+        state: SeesawState = run.state  # type: ignore[assignment]
+        metrics = run.metrics
+        cp, cd = run.cp, run.cd
+        costs_p, costs_d = run.costs_p, run.costs_d
+        now = start
 
         if not opts.use_cpu_buffer:
-            return self._run_without_buffer(state, costs_p, costs_d, metrics, requests)
+            yield from self._no_buffer_loop(run, start)
+            return
 
-        guard = 0
         while not state.all_work_done:
-            guard += 1
-            if guard > 40 * len(requests) + 256:
+            run.guard += 1
+            if run.guard > 40 * len(run.requests) + 256:
                 raise SchedulingError("Seesaw phase loop made no progress")
 
             state.admit_arrivals(now)
             if self._can_prefill(state) and not self._defer_prefill(state):
-                now, current = self._reshard(now, current, cp, costs_p, metrics, state)
-                now = self._prefill_phase(state, costs_p, metrics, now)
+                now, run.current = self._reshard(
+                    now, run.current, cp, costs_p, metrics, state
+                )
+                now = yield from self._prefill_phase(state, costs_p, metrics, now)
 
             if state.running or state.cpu_has_sequences or state.inflight:
-                now, current = self._reshard(now, current, cd, costs_d, metrics, state)
-                now = self._decode_phase(state, costs_d, metrics, now)
+                now, run.current = self._reshard(
+                    now, run.current, cd, costs_d, metrics, state
+                )
+                now = yield from self._decode_phase(state, costs_d, metrics, now)
             elif state.waiting and not self._can_prefill(state):
                 head = state.waiting[0]
                 raise CapacityError(
@@ -141,8 +158,7 @@ class SeesawEngine(BaseEngine):
                 # the next arrival (re-sharding now could only add a
                 # transition the arrival may not need).
                 now = self.idle_advance(state, metrics, now)
-
-        return self.result_from(requests, metrics, now, finished=state.finished)
+                yield now
 
     # ------------------------------------------------------------------ #
     # Phase predicates and transitions
@@ -232,11 +248,14 @@ class SeesawEngine(BaseEngine):
 
     def _prefill_phase(
         self, state: SeesawState, costs: StepCostModel, metrics: RunMetrics, now: float
-    ) -> float:
+    ) -> Iterator[float]:
         """Stream prefill micro-batches until the CPU pool fills (or GPU
         staging or the request queue runs out). KV swap-outs ride the d2h
         channel; with the async pipeline the phase only waits for them at
-        the end (the re-shard needs quiesced links)."""
+        the end (the re-shard needs quiesced links).
+
+        A generator: yields the clock at every micro-batch boundary (and
+        once more at the phase end) and returns the final clock."""
         opts: SeesawOptions = self.options  # type: ignore[assignment]
         pp = costs.config.pp
         last_stage_total = 0.0
@@ -307,6 +326,7 @@ class SeesawEngine(BaseEngine):
             else:
                 now = state.d2h.submit(now, swap_t)
             metrics.swapped_out_tokens += swap_tokens
+            yield now
 
             if opts.eager_transitions:
                 break  # Fig. 2(a) ablation: hop back to decode immediately
@@ -321,6 +341,7 @@ class SeesawEngine(BaseEngine):
             stall = state.d2h.free_at - now
             metrics.add_phase("swap_stall", stall)
             now = state.d2h.free_at
+        yield now
         return now
 
     def _admit_prefill_microbatch(self, state: SeesawState) -> list[Sequence]:
@@ -356,10 +377,13 @@ class SeesawEngine(BaseEngine):
 
     def _decode_phase(
         self, state: SeesawState, costs: StepCostModel, metrics: RunMetrics, now: float
-    ) -> float:
+    ) -> Iterator[float]:
         """Continuous batching with the swap-in prefetcher until the CPU
         pool drains (then back to prefill if work remains) or every
-        resident sequence finishes."""
+        resident sequence finishes.
+
+        A generator: yields the clock after every decode iteration (and
+        once more at the phase end) and returns the final clock."""
         opts: SeesawOptions = self.options  # type: ignore[assignment]
         state.h2d.idle_until(now)
 
@@ -385,6 +409,7 @@ class SeesawEngine(BaseEngine):
                 break
 
             now = self.decode_step(state, costs, metrics, now)
+            yield now
 
             if (
                 not state.cpu_has_sequences
@@ -398,6 +423,7 @@ class SeesawEngine(BaseEngine):
                 break  # Fig. 2(a) ablation: eager hop to prefill
             if not state.running and not state.inflight and not state.cpu_has_sequences:
                 break
+        yield now
         return now
 
     def _launch_prefetches(
@@ -450,6 +476,7 @@ class SeesawEngine(BaseEngine):
         state.kv.free(victim.seq_id)
         state.running.remove(victim)
         victim.num_preemptions += 1
+        metrics.preemptions += 1
         if state.cpu.fits(tokens):
             victim.state = SequenceState.PREFILLED_CPU
             state.park_in_cpu(victim, tokens)
@@ -464,26 +491,27 @@ class SeesawEngine(BaseEngine):
     # Ablation: no CPU buffer (re-sharding with decode-prioritized batches)
     # ------------------------------------------------------------------ #
 
-    def _run_without_buffer(
-        self,
-        state: SeesawState,
-        costs_p: StepCostModel,
-        costs_d: StepCostModel,
-        metrics: RunMetrics,
-        requests: list[Request],
-    ) -> EngineResult:
+    def _no_buffer_loop(self, run: ReplicaRun, start: float) -> Iterator[float]:
         """Without tiered buffering, re-sharding can only amortize over the
         sequences GPU memory holds at once: admit a GPU-sized batch,
-        prefill under cp, re-shard, decode it to completion, re-shard back."""
-        now = 0.0
-        current = replace(self.prefill_config, dp=1)
-        cp, cd = current, replace(self.decode_config, dp=1)
+        prefill under cp, re-shard, decode it to completion, re-shard back.
+
+        A generator over the same iteration boundaries as the buffered
+        loop (prefill waves, re-shards, decode iterations, idle jumps)."""
+        state: SeesawState = run.state  # type: ignore[assignment]
+        metrics = run.metrics
+        cp, cd = run.cp, run.cd
+        costs_p, costs_d = run.costs_p, run.costs_d
+        now = start
         while state.has_work:
             state.admit_arrivals(now)
             if not state.waiting and not state.running:
                 now = self.idle_advance(state, metrics, now)
+                yield now
                 continue
-            now, current = self._reshard(now, current, cp, costs_p, metrics, state)
+            now, run.current = self._reshard(
+                now, run.current, cp, costs_p, metrics, state
+            )
             admitted: list[Sequence] = []
             while state.waiting and len(admitted) < self.options.max_num_seqs:
                 seq = state.waiting[0]
@@ -510,7 +538,10 @@ class SeesawEngine(BaseEngine):
                 seq.mark_first_token(now)
                 state.running.append(seq)
             state.finish_ready(now)
-            now, current = self._reshard(now, current, cd, costs_d, metrics, state)
+            now, run.current = self._reshard(
+                now, run.current, cd, costs_d, metrics, state
+            )
+            yield now
             while state.running:
                 now = self.decode_step(state, costs_d, metrics, now)
-        return self.result_from(requests, metrics, now, finished=state.finished)
+                yield now

@@ -65,6 +65,23 @@ class SeesawState(ReplicaState):
             and self.cpu.is_empty
         )
 
+    @property
+    def has_immediate_work(self) -> bool:
+        """Seesaw can also act on CPU-parked and in-flight sequences."""
+        return bool(
+            self.waiting or self.running or self.inflight or not self.cpu.is_empty
+        )
+
+    @property
+    def unfinished(self) -> bool:
+        return not self.all_work_done
+
+    def live_sequences(self):
+        yield from super().live_sequences()
+        yield from self.cpu_seqs.values()
+        for seq, _ in self.inflight:
+            yield seq
+
     def arrived_inflight(self, now: float) -> list[Sequence]:
         """Pop prefetches whose transfer has completed by ``now``."""
         done = [(s, t) for (s, t) in self.inflight if t <= now + 1e-12]

@@ -59,6 +59,12 @@ class EngineOptions:
             route against it. ``None`` = no TTFT target.
         tpot_slo: TPOT service-level objective in seconds per output
             token; carried alongside ``ttft_slo``. ``None`` = no target.
+        coupled: Run all DP replicas on one shared virtual clock with
+            dispatch interleaved into the event loop
+            (:mod:`repro.cluster`): the router then sees each replica's
+            *observed* state (actual queued tokens, measured preemptions,
+            idle gaps) instead of the predicted load ledger. Off by
+            default — the decoupled path stays bit-exact with the seed.
     """
 
     max_num_seqs: int = 512
@@ -72,6 +78,7 @@ class EngineOptions:
     router_seed: int | None = None
     ttft_slo: float | None = None
     tpot_slo: float | None = None
+    coupled: bool = False
 
     def __post_init__(self) -> None:
         if self.max_num_seqs < 1 or self.max_batched_tokens < 1 or self.chunk_size < 1:
@@ -153,6 +160,26 @@ class ReplicaState:
         return bool(self.pending or self.waiting or self.running)
 
     @property
+    def has_immediate_work(self) -> bool:
+        """Whether the scheduler could act right now without waiting for
+        another arrival (subclasses add their extra service stages)."""
+        return bool(self.waiting or self.running)
+
+    @property
+    def unfinished(self) -> bool:
+        """Whether any request has not yet fully finished — the condition
+        this state's event loop runs under (subclasses with extra service
+        stages extend it alongside :attr:`has_immediate_work`)."""
+        return self.has_work
+
+    def live_sequences(self) -> Iterable[Sequence]:
+        """Every sequence currently owned and not finished — the replica
+        state an observed-load router can measure."""
+        yield from self.pending
+        yield from self.waiting
+        yield from self.running
+
+    @property
     def decode_context_tokens(self) -> int:
         """Total cached tokens attended over by one decode iteration."""
         return sum(s.context_len for s in self.running)
@@ -168,8 +195,78 @@ class ReplicaState:
         return len(done)
 
 
+class ReplicaRun:
+    """Mutable context of one replica simulation.
+
+    Bundles everything a replica's event loop owns — its request list,
+    scheduling state, metrics and engine-specific extras (cost models,
+    phase bookkeeping, livelock guards) — so the loop can be driven either
+    to completion in one call (the decoupled path) or one event at a time
+    by the coupled cluster simulator, with new requests injected between
+    events. Engines attach whatever extra attributes their loop needs in
+    :meth:`BaseEngine._replica_setup`.
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        requests: list[Request],
+        state: ReplicaState,
+        metrics: RunMetrics,
+    ) -> None:
+        self.replica_id = replica_id
+        self.requests = requests
+        self.state = state
+        self.metrics = metrics
+        self.trace: Trace | NullTrace = NullTrace()
+        self.guard = 0
+        self.total_request_tokens = sum(r.prompt_len + r.output_len for r in requests)
+
+    def add_request(self, request: Request) -> Sequence:
+        """Inject a request dispatched to this replica mid-simulation.
+
+        The sequence enters the pending queue in arrival order (dispatches
+        arrive in arrival order, so this is an append except for storm
+        re-dispatches of earlier arrivals); the replica's scheduler admits
+        it the next time its clock reaches the arrival time.
+        """
+        seq = Sequence(request)
+        self.requests.append(request)
+        self.total_request_tokens += request.prompt_len + request.output_len
+        pending = self.state.pending
+        idx = len(pending)
+        while idx > 0 and pending[idx - 1].arrival_time > request.arrival_time + 1e-12:
+            idx -= 1
+        pending.insert(idx, seq)
+        return seq
+
+    def steal_pending(self) -> list[Request]:
+        """Remove and return every still-pending (never admitted) request.
+
+        Only requests the replica's scheduler has not yet observed are
+        stealable — the coupled storm re-dispatcher moves these to a calm
+        replica without perturbing any in-flight state."""
+        stolen = [seq.request for seq in self.state.pending]
+        if stolen:
+            self.state.pending.clear()
+            ids = {r.request_id for r in stolen}
+            self.requests = [r for r in self.requests if r.request_id not in ids]
+            self.total_request_tokens -= sum(
+                r.prompt_len + r.output_len for r in stolen
+            )
+        return stolen
+
+
 class BaseEngine(abc.ABC):
-    """Common engine skeleton: DP fan-out plus shared step helpers."""
+    """Common engine skeleton: DP fan-out plus shared step helpers.
+
+    Each engine expresses its per-replica scheduler as an *event loop
+    generator* (:meth:`_replica_loop`) that yields the virtual clock at
+    every iteration boundary. The decoupled path simply drives that
+    generator to exhaustion per replica (:meth:`_run_replica`); the
+    coupled path (:class:`repro.cluster.ClusterSimulator`) steps all
+    replicas' generators on one shared clock via :meth:`start_replica`.
+    """
 
     name: str = "base"
 
@@ -200,8 +297,12 @@ class BaseEngine(abc.ABC):
         """Execute the workload to completion; returns the run summary.
 
         Requests are dispatched across the DP replicas by the routing
-        subsystem (``options.router``); each replica then simulates its
-        partition independently and the results merge.
+        subsystem (``options.router``). Decoupled (the default), the
+        router dispatches every arrival up front against its predicted
+        load ledger and each replica then simulates its partition
+        independently; with ``options.coupled`` all replicas co-simulate
+        on one shared clock and each arrival is dispatched against the
+        replicas' *observed* state at that instant.
         """
         requests = (
             list(workload.requests)
@@ -210,6 +311,10 @@ class BaseEngine(abc.ABC):
         )
         if not requests:
             raise ConfigurationError("cannot run an empty workload")
+        if self.options.coupled:
+            from repro.cluster.simulator import ClusterSimulator
+
+            return ClusterSimulator(self, requests).run()
         plan = self.make_router(requests).route(requests)
         parts = [list(p) for p in plan.partitions]
         # Trace the first non-empty partition (partition 0 can be empty
@@ -232,9 +337,45 @@ class BaseEngine(abc.ABC):
         """Configuration label shown in reports."""
         return self.config.label()
 
-    @abc.abstractmethod
     def _run_replica(self, requests: list[Request], replica_id: int) -> EngineResult:
-        """Simulate one DP replica processing ``requests`` to completion."""
+        """Simulate one DP replica processing ``requests`` to completion
+        (the decoupled path: drive the event-loop generator dry)."""
+        run = self._replica_setup(list(requests), replica_id)
+        now = 0.0
+        for now in self._replica_loop(run, 0.0):
+            pass
+        return self._replica_result(run, now)
+
+    def start_replica(self, replica_id: int, requests: TypingSequence[Request] = ()):
+        """Start one replica as an incrementally steppable simulation.
+
+        Returns a :class:`repro.cluster.ReplicaSim` exposing
+        ``next_event_time()`` / ``advance(until)`` / ``inject(request)``
+        — the interface the event-coupled cluster simulator drives."""
+        from repro.cluster.replica import ReplicaSim
+
+        return ReplicaSim(self, replica_id, list(requests))
+
+    @abc.abstractmethod
+    def _replica_setup(self, requests: list[Request], replica_id: int) -> ReplicaRun:
+        """Build the mutable context one replica's event loop runs over."""
+
+    @abc.abstractmethod
+    def _replica_loop(self, run: ReplicaRun, start: float):
+        """One replica's scheduler as a generator over iteration boundaries.
+
+        Yields the virtual clock after every scheduling event (iteration,
+        phase step, or idle jump); the clock never decreases across
+        yields. The generator exits when the replica has no unfinished
+        work; if requests are injected afterwards, the caller restarts it
+        from the current clock (all state lives in ``run``).
+        """
+
+    def _replica_result(self, run: ReplicaRun, total_time: float) -> EngineResult:
+        """Summarize one finished replica simulation."""
+        return self.result_from(
+            run.requests, run.metrics, total_time, finished=run.state.finished
+        )
 
     # ------------------------------------------------------------------ #
     # Shared construction helpers
@@ -463,4 +604,5 @@ class BaseEngine(abc.ABC):
         state.running.remove(victim)
         victim.preempt_recompute()
         victim.num_preemptions += 1
+        metrics.preemptions += 1
         state.waiting.appendleft(victim)

@@ -12,9 +12,11 @@ guaranteed to finish without preemption.
 
 from __future__ import annotations
 
-from repro.engines.base import BaseEngine, ReplicaState
+from typing import Iterator
+
+from repro.engines.base import BaseEngine, ReplicaRun, ReplicaState
 from repro.errors import CapacityError
-from repro.runtime.metrics import EngineResult, RunMetrics
+from repro.runtime.metrics import RunMetrics
 from repro.runtime.request import Request, Sequence, SequenceState
 
 
@@ -23,26 +25,30 @@ class DecodePrioritizedEngine(BaseEngine):
 
     name = "decode-prio"
 
-    def _run_replica(self, requests: list[Request], replica_id: int) -> EngineResult:
-        costs = self.make_costs()
-        kv = self.make_kv()
-        state = ReplicaState(requests, kv)
-        metrics = RunMetrics()
-        now = 0.0
+    def _replica_setup(self, requests: list[Request], replica_id: int) -> ReplicaRun:
+        state = ReplicaState(requests, self.make_kv())
+        run = ReplicaRun(replica_id, requests, state, RunMetrics())
+        run.costs = self.make_costs()
+        return run
 
+    def _replica_loop(self, run: ReplicaRun, start: float) -> Iterator[float]:
+        state, costs, metrics = run.state, run.costs, run.metrics
+        now = start
         while state.has_work:
             state.admit_arrivals(now)
             if not state.waiting and not state.running:
                 now = self.idle_advance(state, metrics, now)
+                yield now
                 continue
-            batch = self._admit_batch(state)
-            if not batch and not state.running:
-                head = state.waiting[0]
-                raise CapacityError(
-                    f"request needs {head.final_context_len} tokens of KV, "
-                    f"capacity is {state.kv.capacity_tokens}"
-                )
-            if batch:
+            if not state.running:
+                # Between batches: admit and prefill the next batch whole.
+                batch = self._admit_batch(state)
+                if not batch:
+                    head = state.waiting[0]
+                    raise CapacityError(
+                        f"request needs {head.final_context_len} tokens of KV, "
+                        f"capacity is {state.kv.capacity_tokens}"
+                    )
                 admit_time = now
                 microbatches = self.form_prefill_microbatches(batch)
                 wall, device = self.prefill_time(costs, microbatches)
@@ -58,12 +64,16 @@ class DecodePrioritizedEngine(BaseEngine):
                     seq.mark_first_token(now)
                     state.running.append(seq)
                 state.finish_ready(now)
-            # Decode the whole batch to completion before the next prefill.
-            while state.running:
-                now = self.decode_step(state, costs, metrics, now)
-            metrics.transitions += 1
-
-        return self.result_from(requests, metrics, now, finished=state.finished)
+                if not state.running:
+                    metrics.transitions += 1  # the decode stage was trivial
+                yield now
+                continue
+            # Decode the whole batch to completion before the next prefill
+            # (arrivals landing meanwhile wait in the queue, as before).
+            now = self.decode_step(state, costs, metrics, now)
+            if not state.running:
+                metrics.transitions += 1
+            yield now
 
     def _admit_batch(self, state: ReplicaState) -> list[Sequence]:
         """Admit sequences whose final context length fits entirely."""

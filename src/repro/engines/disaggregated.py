@@ -14,10 +14,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import Iterator
 
 from repro.costmodel.pipeline import pipeline_time_heterogeneous
 from repro.costmodel.step import ITERATION_OVERHEAD, StepCostModel
-from repro.engines.base import BaseEngine, EngineOptions, ReplicaState
+from repro.engines.base import BaseEngine, EngineOptions, ReplicaRun, ReplicaState
 from repro.errors import CapacityError, ConfigurationError
 from repro.hardware.cluster import ClusterSpec
 from repro.models.config import ModelConfig
@@ -76,12 +77,15 @@ class _DecodeOnlyEngine(BaseEngine):
 
     name = "decode-pool"
 
-    def _run_replica(self, requests: list[Request], replica_id: int) -> EngineResult:
-        costs = self.make_costs()
-        kv = self.make_kv()
-        state = ReplicaState(requests, kv)
-        metrics = RunMetrics()
-        now = 0.0
+    def _replica_setup(self, requests: list[Request], replica_id: int) -> ReplicaRun:
+        state = ReplicaState(requests, self.make_kv())
+        run = ReplicaRun(replica_id, requests, state, RunMetrics())
+        run.costs = self.make_costs()
+        return run
+
+    def _replica_loop(self, run: ReplicaRun, start: float) -> Iterator[float]:
+        state, costs, metrics = run.state, run.costs, run.metrics
+        now = start
         while state.has_work:
             state.admit_arrivals(now)
             while (
@@ -104,12 +108,16 @@ class _DecodeOnlyEngine(BaseEngine):
                         f"capacity {state.kv.capacity_tokens}"
                     )
                 now = self.idle_advance(state, metrics, now)
+                yield now
                 continue
             state.finish_ready(now)
             if state.running:
                 now = self.decode_step(state, costs, metrics, now)
+            yield now
+
+    def _replica_result(self, run: ReplicaRun, total_time: float) -> EngineResult:
         return self.result_from(
-            requests, metrics, max(now, 1e-9), finished=state.finished
+            run.requests, run.metrics, max(total_time, 1e-9), finished=run.state.finished
         )
 
 

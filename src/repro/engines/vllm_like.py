@@ -12,10 +12,12 @@ remainder with a chunk of the next prompt (vLLM 0.5.4's behaviour with
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.costmodel.step import ITERATION_OVERHEAD
-from repro.engines.base import BaseEngine, ReplicaState
+from repro.engines.base import BaseEngine, ReplicaRun, ReplicaState
 from repro.errors import CapacityError, SchedulingError
-from repro.runtime.metrics import EngineResult, RunMetrics
+from repro.runtime.metrics import RunMetrics
 from repro.runtime.request import Request, Sequence, SequenceState
 
 
@@ -32,30 +34,28 @@ class VllmLikeEngine(BaseEngine):
     # Replica loop
     # ------------------------------------------------------------------ #
 
-    def _run_replica(self, requests: list[Request], replica_id: int) -> EngineResult:
-        costs = self.make_costs()
-        kv = self.make_kv()
-        state = ReplicaState(requests, kv)
-        metrics = RunMetrics()
-        now = 0.0
-        guard = 0
-        max_iterations = 80 * sum(r.prompt_len + r.output_len for r in requests)
+    def _replica_setup(self, requests: list[Request], replica_id: int) -> ReplicaRun:
+        state = ReplicaState(requests, self.make_kv())
+        run = ReplicaRun(replica_id, requests, state, RunMetrics())
+        run.costs = self.make_costs()
+        return run
 
+    def _replica_loop(self, run: ReplicaRun, start: float) -> Iterator[float]:
+        state, costs, metrics = run.state, run.costs, run.metrics
+        now = start
         while state.has_work:
-            guard += 1
-            if guard > max_iterations:
+            run.guard += 1
+            if run.guard > 80 * run.total_request_tokens:
                 raise SchedulingError("scheduler made no progress (livelock guard)")
             state.admit_arrivals(now)
             if not state.waiting and not state.running:
                 # Event-driven idle: jump to the next arrival.
                 now = self.idle_advance(state, metrics, now)
-                continue
-            if self.options.chunked_prefill:
+            elif self.options.chunked_prefill:
                 now = self._chunked_iteration(state, costs, metrics, now)
             else:
                 now = self._prefill_prioritized_iteration(state, costs, metrics, now)
-
-        return self.result_from(requests, metrics, now, finished=state.finished)
+            yield now
 
     # ------------------------------------------------------------------ #
     # Non-chunked: eager prefill, whole prompts

@@ -21,8 +21,11 @@ from repro.experiments.fig15_dp_decode import run_fig15, render_fig15
 from repro.experiments.latency_sweep import run_latency_sweep, render_latency_sweep
 from repro.experiments.routing_sweep import run_routing_sweep, render_routing_sweep
 from repro.experiments.slo_sweep import run_slo_sweep, render_slo_sweep
+from repro.experiments.coupled_sweep import run_coupled_sweep, render_coupled_sweep
 
 __all__ = [
+    "run_coupled_sweep",
+    "render_coupled_sweep",
     "run_latency_sweep",
     "render_latency_sweep",
     "run_routing_sweep",

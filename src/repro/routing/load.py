@@ -128,16 +128,28 @@ class ReplicaLoad:
     # ------------------------------------------------------------------ #
 
     def advance(self, now: float) -> None:
-        """Move the ledger's clock to ``now``, retiring finished entries."""
+        """Move the ledger's clock to ``now``, retiring finished entries.
+
+        Drain is clamped to dispatched work: once the FIFO holds no
+        unfinished records the replica is provably idle, so ``busy_until``
+        snaps back to ``now``. Retirement tolerates an epsilon
+        (``finished_by``), and without the clamp that epsilon residue
+        leaves an idle replica reporting a stale positive
+        ``work_seconds``/``predicted_ttft`` bias forever after.
+        """
         if now < self.clock:
             now = self.clock  # simultaneous arrivals never rewind the clock
         self.clock = now
         while self.records and self.records[0].finished_by(now):
             self.records.popleft()
+        if not self.records:
+            self.busy_until = min(self.busy_until, now)
 
     def queued_prefill_tokens(self, now: float | None = None) -> float:
         """Prompt tokens dispatched here but not yet prefilled (JSQ's
-        queue-length metric)."""
+        queue-length metric). ``_remaining`` bounds each record's share to
+        ``[0, tokens]``, so the depth is clamped to live dispatched work
+        by construction."""
         now = self.clock if now is None else now
         return sum(
             _remaining(rec.request.prompt_len, rec.start, rec.prefill_done, now)
@@ -146,7 +158,7 @@ class ReplicaLoad:
 
     def outstanding_tokens(self, now: float | None = None) -> float:
         """Unprefilled prompt tokens plus predicted undecoded tokens (the
-        least-work metric)."""
+        least-work metric); bounded like :meth:`queued_prefill_tokens`."""
         now = self.clock if now is None else now
         total = 0.0
         for rec in self.records:

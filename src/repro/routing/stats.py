@@ -30,7 +30,14 @@ def _max_over_mean(values: tuple[float, ...] | tuple[int, ...]) -> float:
 
 @dataclass(frozen=True)
 class RouterStats:
-    """Summary of one routing pass over a workload."""
+    """Summary of one routing pass over a workload.
+
+    Decoupled runs fill the predicted fields; event-coupled runs
+    (``coupled=True``) additionally carry what was *measured* during the
+    co-simulation: per-replica observed preemption counts, idle
+    fractions, and how much still-pending work the storm re-dispatcher
+    moved between replicas.
+    """
 
     policy: str
     num_replicas: int
@@ -40,6 +47,12 @@ class RouterStats:
     predicted_preemptions: tuple[int, ...]
     rebalanced_requests: int = 0
     rebalances: int = 0
+    # Event-coupled extras (None / 0 on the decoupled path).
+    coupled: bool = False
+    observed_preemptions: tuple[int, ...] | None = None
+    idle_fraction: tuple[float, ...] | None = None
+    redispatched_requests: int = 0
+    redispatches: int = 0
 
     def __post_init__(self) -> None:
         vectors = (
@@ -47,8 +60,10 @@ class RouterStats:
             self.tokens_per_replica,
             self.peak_queued_prefill_tokens,
             self.predicted_preemptions,
+            self.observed_preemptions,
+            self.idle_fraction,
         )
-        if any(len(v) != self.num_replicas for v in vectors):
+        if any(v is not None and len(v) != self.num_replicas for v in vectors):
             raise SimulationError(
                 f"router stats vectors must have {self.num_replicas} entries"
             )
@@ -87,14 +102,30 @@ class RouterStats:
     def total_predicted_preemptions(self) -> int:
         return sum(self.predicted_preemptions)
 
+    @property
+    def total_observed_preemptions(self) -> int:
+        return sum(self.observed_preemptions or ())
+
+    @property
+    def mean_idle_fraction(self) -> float:
+        if not self.idle_fraction:
+            return 0.0
+        return sum(self.idle_fraction) / self.num_replicas
+
     def describe(self) -> str:
-        return (
+        base = (
             f"{self.policy}: {self.num_requests} reqs over "
             f"{self.num_replicas} replicas | tok-imbal "
             f"{self.token_imbalance:.2f} | peak-queue-imbal "
-            f"{self.peak_queue_imbalance:.2f} | rebalanced "
-            f"{self.rebalanced_requests}"
+            f"{self.peak_queue_imbalance:.2f}"
         )
+        if self.coupled:
+            return (
+                f"{base} | preempted {self.total_observed_preemptions} | "
+                f"idle {self.mean_idle_fraction * 100:.0f}% | re-dispatched "
+                f"{self.redispatched_requests}"
+            )
+        return f"{base} | rebalanced {self.rebalanced_requests}"
 
 
 @dataclass(frozen=True)

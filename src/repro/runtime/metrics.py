@@ -48,6 +48,9 @@ class RunMetrics:
     swapped_in_tokens: int = 0
     swapped_out_tokens: int = 0
     resharded_bytes: float = 0.0
+    # Preemptions this replica actually performed (recompute or swap-out);
+    # the O(1) counter behind the coupled router's observed-load view.
+    preemptions: int = 0
 
     def add_phase(self, phase: str, seconds: float, breakdown: Breakdown | None = None) -> None:
         self.phase_timer.add(phase, seconds)

@@ -12,8 +12,14 @@ stamping arrival times from a configurable process:
   arrivals clump into bursts, the regime where admission queues actually
   build. ``burstiness`` is the squared coefficient of variation of the
   gaps; 1.0 recovers Poisson exactly.
+- ``diurnal:<period>`` — sinusoidal day-shape rate modulation layered on
+  top of the Poisson/bursty stampers (:func:`diurnal_arrivals`): the
+  instantaneous rate follows ``rate * (1 + amplitude * sin(2*pi*t /
+  period))`` while short-range burstiness comes from the base process.
 - ``trace:<path>`` — replay recorded timestamps from a JSON or CSV log
-  (:func:`trace_arrivals`): production traffic without a parametric model.
+  (:func:`trace_arrivals`): production traffic without a parametric
+  model. A target ``rate_rps`` rescales the replay to a chosen offered
+  rate at the recorded shape.
 
 Stamping preserves request order (request ``i`` gets the ``i``-th arrival),
 so a workload's length distribution is independent of its arrival process.
@@ -36,8 +42,9 @@ from repro.utils.rng import make_rng
 from repro.workloads.spec import WorkloadSpec
 
 ARRIVAL_KINDS = ("poisson", "bursty")
-# Prefix form accepted by make_arrivals / the CLI: ``trace:<path>``.
+# Prefix forms accepted by make_arrivals / the CLI.
 TRACE_PREFIX = "trace:"
+DIURNAL_PREFIX = "diurnal:"
 
 
 def stamp_arrivals(
@@ -92,6 +99,73 @@ def bursty_arrivals(
         base,
         np.cumsum(gaps),
         name=f"{base.name}+bursty({rate_rps:g}rps,cv2={burstiness:g})",
+    )
+
+
+def diurnal_arrivals(
+    base: WorkloadSpec,
+    rate_rps: float,
+    period_s: float,
+    *,
+    amplitude: float = 0.8,
+    burstiness: float = 1.0,
+    seed: int | None = None,
+) -> WorkloadSpec:
+    """Stamp arrivals whose long-run rate follows a sinusoidal day-shape.
+
+    The instantaneous intensity is ``lambda(t) = rate_rps * (1 +
+    amplitude * sin(2*pi*t / period_s))``. Implemented as an inverse
+    time-warp of a stationary stamper at the same mean rate: the base
+    process (Poisson, or Gamma-bursty when ``burstiness > 1``) supplies
+    cumulative arrivals, and each is mapped through the inverse of the
+    cumulative intensity ``Lambda(t)``, so short-range burstiness
+    survives while the day curve shapes the long run. ``amplitude`` must
+    be in ``[0, 1)`` so the intensity stays positive (0 recovers the base
+    process up to the warp's identity).
+    """
+    if rate_rps <= 0:
+        raise ConfigurationError("arrival rate must be positive")
+    if period_s <= 0:
+        raise ConfigurationError("diurnal period must be positive")
+    if not 0 <= amplitude < 1:
+        raise ConfigurationError("diurnal amplitude must be in [0, 1)")
+    if burstiness <= 0:
+        raise ConfigurationError("burstiness must be positive")
+    if burstiness == 1.0:
+        stationary = poisson_arrivals(base, rate_rps, seed=seed)
+    else:
+        stationary = bursty_arrivals(
+            base, rate_rps, burstiness=burstiness, seed=seed
+        )
+    omega = 2.0 * math.pi / period_s
+
+    def cumulative(t: float) -> float:
+        # Integral of lambda(t): rate * (t + amp/omega * (1 - cos(omega t))).
+        return rate_rps * (t + amplitude / omega * (1.0 - math.cos(omega * t)))
+
+    def invert(target: float) -> float:
+        # Lambda is strictly increasing (amplitude < 1); bisect it.
+        lo, hi = 0.0, target / rate_rps + period_s
+        while cumulative(hi) < target:
+            hi += period_s
+        for _ in range(80):
+            mid = (lo + hi) / 2.0
+            if cumulative(mid) < target:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0
+
+    warped = [invert(cumulative_units)
+              for cumulative_units in
+              (rate_rps * r.arrival_time for r in stationary.requests)]
+    return stamp_arrivals(
+        base,
+        warped,
+        name=(
+            f"{base.name}+diurnal({rate_rps:g}rps,T={period_s:g}s,"
+            f"a={amplitude:g})"
+        ),
     )
 
 
@@ -154,7 +228,10 @@ def _load_trace_timestamps(path: str | Path) -> list[float]:
 
 
 def trace_arrivals(
-    base: WorkloadSpec, path: str | Path, name: str | None = None
+    base: WorkloadSpec,
+    path: str | Path,
+    name: str | None = None,
+    rate_rps: float | None = None,
 ) -> WorkloadSpec:
     """Replay recorded arrival timestamps onto ``base``.
 
@@ -163,6 +240,11 @@ def trace_arrivals(
     ``i``-th arrival, as with the parametric stampers. The trace must hold
     at least one timestamp per request — extra trailing timestamps are
     ignored so one production log can drive workloads of any smaller size.
+
+    ``rate_rps`` rescales the replayed timeline linearly so the replay's
+    offered rate (requests / span) hits the target while keeping the
+    recorded *shape* — the knob that lets one production log sweep a
+    load-latency curve.
     """
     timestamps = _load_trace_timestamps(path)
     if len(timestamps) < base.num_requests:
@@ -172,11 +254,22 @@ def trace_arrivals(
         )
     stamps = sorted(timestamps)[: base.num_requests]
     origin = stamps[0]
-    return stamp_arrivals(
-        base,
-        [t - origin for t in stamps],
-        name=name or f"{base.name}+trace({Path(path).name})",
-    )
+    shifted = [t - origin for t in stamps]
+    label = f"{base.name}+trace({Path(path).name})"
+    if rate_rps is not None:
+        if rate_rps <= 0:
+            raise ConfigurationError("trace rescale rate must be positive")
+        span = shifted[-1]
+        if span <= 0:
+            raise ConfigurationError(
+                f"arrival trace {Path(path).name} has no time span to "
+                "rescale (all timestamps coincide)"
+            )
+        recorded_rate = len(shifted) / span
+        scale = recorded_rate / rate_rps
+        shifted = [t * scale for t in shifted]
+        label = f"{label}@{rate_rps:g}rps"
+    return stamp_arrivals(base, shifted, name=name or label)
 
 
 def make_arrivals(
@@ -189,21 +282,38 @@ def make_arrivals(
 ) -> WorkloadSpec:
     """Dispatch by process name (the CLI's ``--arrival`` values).
 
-    ``kind`` is one of :data:`ARRIVAL_KINDS` (which consume ``rate_rps``)
-    or ``trace:<path>`` (which replays the log and ignores the rate).
+    ``kind`` is one of :data:`ARRIVAL_KINDS` (which consume ``rate_rps``),
+    ``diurnal:<period>`` (sinusoidal day-shape at mean ``rate_rps``; a
+    ``burstiness`` above 1 rides the bursty stamper underneath), or
+    ``trace:<path>`` (which replays the log — at its recorded rate when
+    ``rate_rps`` is 0, rescaled to ``rate_rps`` otherwise).
     """
     if kind.startswith(TRACE_PREFIX):
         path = kind[len(TRACE_PREFIX):]
         if not path:
             raise ConfigurationError("trace arrival needs a path: trace:<path>")
-        return trace_arrivals(base, path)
+        return trace_arrivals(
+            base, path, rate_rps=rate_rps if rate_rps > 0 else None
+        )
+    if kind.startswith(DIURNAL_PREFIX):
+        spec = kind[len(DIURNAL_PREFIX):]
+        try:
+            period = float(spec)
+        except ValueError:
+            raise ConfigurationError(
+                f"malformed diurnal arrival {kind!r}: expected "
+                f"{DIURNAL_PREFIX}<period-seconds>"
+            ) from None
+        return diurnal_arrivals(
+            base, rate_rps, period, burstiness=burstiness, seed=seed
+        )
     if kind == "poisson":
         return poisson_arrivals(base, rate_rps, seed=seed)
     if kind == "bursty":
         return bursty_arrivals(base, rate_rps, burstiness=burstiness, seed=seed)
     raise ConfigurationError(
-        f"unknown arrival process {kind!r}; one of {ARRIVAL_KINDS} "
-        f"or {TRACE_PREFIX}<path>"
+        f"unknown arrival process {kind!r}; one of {ARRIVAL_KINDS}, "
+        f"{DIURNAL_PREFIX}<period>, or {TRACE_PREFIX}<path>"
     )
 
 

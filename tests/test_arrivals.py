@@ -186,3 +186,99 @@ class TestDispatch:
         empty = SimpleNamespace(requests=())
         with pytest.raises(ConfigurationError, match="empty workload"):
             offered_rate(empty)
+
+
+class TestDiurnal:
+    def test_deterministic_per_seed(self):
+        from repro.workloads.arrivals import diurnal_arrivals
+
+        a = diurnal_arrivals(base(64), 2.0, 60.0, seed=3)
+        b = diurnal_arrivals(base(64), 2.0, 60.0, seed=3)
+        assert [r.arrival_time for r in a.requests] == [
+            r.arrival_time for r in b.requests
+        ]
+        c = diurnal_arrivals(base(64), 2.0, 60.0, seed=4)
+        assert [r.arrival_time for r in a.requests] != [
+            r.arrival_time for r in c.requests
+        ]
+
+    def test_mean_rate_and_order_preserved(self):
+        from repro.workloads.arrivals import diurnal_arrivals
+
+        wl = diurnal_arrivals(base(256), 4.0, 30.0, seed=0)
+        stamps = [r.arrival_time for r in wl.requests]
+        assert stamps == sorted(stamps)
+        assert len(stamps) / max(stamps) == pytest.approx(4.0, rel=0.25)
+
+    def test_day_shape_modulates_density(self):
+        """With amplitude 0.8 the rising half of each period must hold
+        clearly more arrivals than the falling half (the analytic ratio is
+        (pi + 1.6)/(pi - 1.6) ~ 3.1)."""
+        from repro.workloads.arrivals import diurnal_arrivals
+
+        period = 60.0
+        wl = diurnal_arrivals(base(400), 2.0, period, amplitude=0.8, seed=0)
+        phases = [(r.arrival_time % period) / period for r in wl.requests]
+        peak = sum(1 for p in phases if p < 0.5)
+        trough = len(phases) - peak
+        assert peak > 2 * trough
+
+    def test_bursty_base_process(self):
+        from repro.workloads.arrivals import diurnal_arrivals
+
+        smooth = diurnal_arrivals(base(64), 2.0, 60.0, burstiness=1.0, seed=0)
+        bursty = diurnal_arrivals(base(64), 2.0, 60.0, burstiness=8.0, seed=0)
+        assert [r.arrival_time for r in smooth.requests] != [
+            r.arrival_time for r in bursty.requests
+        ]
+
+    def test_validation(self):
+        from repro.workloads.arrivals import diurnal_arrivals
+
+        with pytest.raises(ConfigurationError, match="rate"):
+            diurnal_arrivals(base(4), 0.0, 60.0)
+        with pytest.raises(ConfigurationError, match="period"):
+            diurnal_arrivals(base(4), 1.0, 0.0)
+        with pytest.raises(ConfigurationError, match="amplitude"):
+            diurnal_arrivals(base(4), 1.0, 60.0, amplitude=1.0)
+
+    def test_make_arrivals_diurnal_prefix(self):
+        wl = make_arrivals(base(32), "diurnal:45", 2.0, seed=1)
+        assert "diurnal" in wl.name and "T=45" in wl.name
+        with pytest.raises(ConfigurationError, match="diurnal"):
+            make_arrivals(base(4), "diurnal:fast", 2.0)
+
+
+class TestTraceRescale:
+    def write_json(self, tmp_path, stamps):
+        p = tmp_path / "trace.json"
+        p.write_text(json.dumps(stamps))
+        return p
+
+    def test_rescales_to_target_offered_rate(self, tmp_path):
+        p = self.write_json(tmp_path, [0.0, 1.0, 3.0, 10.0])
+        wl = trace_arrivals(base(4), p, rate_rps=2.0)
+        assert offered_rate(wl) == pytest.approx(2.0)
+        # Shape preserved: ratios between gaps survive the linear rescale.
+        stamps = [r.arrival_time for r in wl.requests]
+        assert stamps[2] / stamps[1] == pytest.approx(3.0)
+
+    def test_make_arrivals_passes_request_rate(self, tmp_path):
+        p = self.write_json(tmp_path, [0.0, 1.0, 3.0, 10.0])
+        scaled = make_arrivals(base(4), f"trace:{p}", 5.0)
+        assert offered_rate(scaled) == pytest.approx(5.0)
+        raw = make_arrivals(base(4), f"trace:{p}", 0.0)
+        assert offered_rate(raw) == pytest.approx(0.4)
+
+    def test_zero_span_trace_cannot_rescale(self, tmp_path):
+        p = self.write_json(tmp_path, [4.0, 4.0])
+        with pytest.raises(ConfigurationError, match="span"):
+            trace_arrivals(base(2), p, rate_rps=1.0)
+        # Without a target rate the degenerate trace still replays.
+        wl = trace_arrivals(base(2), p)
+        assert [r.arrival_time for r in wl.requests] == [0.0, 0.0]
+
+    def test_rescale_rate_must_be_positive(self, tmp_path):
+        p = self.write_json(tmp_path, [0.0, 1.0])
+        with pytest.raises(ConfigurationError, match="positive"):
+            trace_arrivals(base(2), p, rate_rps=-1.0)

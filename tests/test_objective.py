@@ -243,3 +243,93 @@ class TestSeesawPairOptions:
             objective=ServingObjective(kind="slo", request_rate=0.2, ttft_slo=30.0),
         )
         assert seen and all(o.arrival_rate == pytest.approx(0.2) for o in seen)
+
+
+class TestErlangC:
+    """The M/M/c queueing correction (satellite of the coupled-sim PR)."""
+
+    def reference(self, c, a):
+        """Textbook Erlang C with explicit factorials."""
+        import math
+
+        rho = a / c
+        summed = sum(a**k / math.factorial(k) for k in range(c))
+        tail = a**c / (math.factorial(c) * (1.0 - rho))
+        return tail / (summed + tail)
+
+    def test_matches_textbook_formula(self):
+        from repro.autotuner.objective import erlang_c
+
+        for c in (1, 2, 3, 4, 8):
+            for rho in (0.1, 0.5, 0.9):
+                a = rho * c
+                assert erlang_c(c, a) == pytest.approx(self.reference(c, a))
+
+    def test_single_server_is_exactly_rho(self):
+        from repro.autotuner.objective import erlang_c
+
+        for rho in (0.0, 0.3, 0.7, 0.999):
+            assert erlang_c(1, rho) == rho  # bit-exact, not approx
+
+    def test_unstable_and_invalid(self):
+        from repro.autotuner.objective import erlang_c
+        from repro.errors import ConfigurationError
+
+        assert erlang_c(4, 4.0) == 1.0
+        assert erlang_c(2, 5.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            erlang_c(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            erlang_c(2, -0.1)
+
+    def test_multi_server_waits_less_often_than_pooled_rho(self):
+        """An arrival queues only when every replica is busy: for c > 1
+        the wait probability sits strictly below the pooled model's rho."""
+        from repro.autotuner.objective import erlang_c
+
+        for c in (2, 4, 8):
+            for rho in (0.2, 0.5, 0.8):
+                assert erlang_c(c, rho * c) < rho
+
+    def test_dp1_prediction_identical_to_mm1(self):
+        """The dp == 1 case keeps the seed's M/M/1 numbers bit-exactly."""
+        import math
+
+        from repro.autotuner.predictor import PredictedRates
+        from repro.parallel.config import parse_config
+
+        rates = PredictedRates(
+            config=parse_config("T4"),
+            prefill_tokens_per_s=10000.0,
+            decode_tokens_per_s=40000.0,
+            request_rate=2.0,
+            max_batch_size=64,
+        )
+        obj = ServingObjective(kind="slo", request_rate=1.3, ttft_slo=3.0)
+        pred = obj.predict(rates, 2000, 200)
+        mu, lam = 2.0, 1.3
+        rho = lam / mu
+        prefill_latency = 2000 * 1 / 10000.0
+        assert pred.queue_wait_mean_s == rho / (mu - lam)
+        assert pred.attainment == 1.0 - rho * math.exp(
+            -(mu - lam) * (3.0 - prefill_latency)
+        )
+
+    def test_dp_group_wait_uses_erlang_c(self):
+        from repro.autotuner.objective import erlang_c
+        from repro.autotuner.predictor import PredictedRates
+        from repro.parallel.config import parse_config
+
+        rates = PredictedRates(
+            config=parse_config("D4T2"),
+            prefill_tokens_per_s=40000.0,
+            decode_tokens_per_s=160000.0,
+            request_rate=8.0,
+            max_batch_size=64,
+        )
+        obj = ServingObjective(kind="slo", request_rate=5.0, ttft_slo=3.0)
+        pred = obj.predict(rates, 2000, 200)
+        expected = erlang_c(4, 5.0 / (8.0 / 4)) / (8.0 - 5.0)
+        assert pred.queue_wait_mean_s == pytest.approx(expected)
+        # Strictly below the pooled-M/M/1 wait the seed model reported.
+        assert pred.queue_wait_mean_s < (5.0 / 8.0) / (8.0 - 5.0)

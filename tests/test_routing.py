@@ -26,6 +26,7 @@ from repro.routing import (
     LeastWorkRouter,
     Po2Router,
     ROUTER_POLICIES,
+    ReplicaLoad,
     RouterContext,
     SLORouter,
     StaticRouter,
@@ -364,3 +365,55 @@ class TestRoutingSweep:
                 config=parse_config("T2"),
                 rate_rps=1.0,
             )
+
+
+class TestDrainClamp:
+    """Regression: the ledger's drain is clamped to dispatched work, so a
+    provably idle replica reports exactly zero predicted load."""
+
+    def test_idle_replica_reports_exactly_zero_work(self):
+        """Retirement tolerates a 1e-12 epsilon; before the clamp, a
+        record whose float finish landed just past the clock left a stale
+        positive busy_until on an empty ledger forever after."""
+        load = ReplicaLoad(0, ctx(prefill=10.0, decode=1000.0))
+        load.advance(0.1)
+        # prompt 2 @ 10 tok/s from t=0.1: finish = 0.1 + 0.2 = 0.30000...04
+        load.dispatch(0, Request(0, 2, 1), 0.1)
+        assert load.busy_until > 0.3  # float residue above the clock
+        load.advance(0.3)
+        assert not load.records  # retired within the epsilon
+        assert load.work_seconds() == 0.0  # exactly zero, not 1e-17 stale
+        probe = Request(1, 50, 1)
+        assert load.predicted_ttft(probe) == 50 / 10.0
+
+    def test_queue_views_clamped_to_dispatched_work(self):
+        """Property: queued/outstanding depth is never negative and never
+        exceeds the live dispatched work, across dispatch / advance /
+        steal sequences."""
+        import random
+
+        rng = random.Random(7)
+        for _ in range(200):
+            load = ReplicaLoad(0, ctx(prefill=100.0, decode=50.0, kv=2000))
+            now, rid = 0.0, 0
+            for _step in range(20):
+                now += rng.random()
+                load.advance(now)
+                op = rng.random()
+                if op < 0.6:
+                    load.dispatch(rid, Request(rid, rng.randint(1, 400), rng.randint(1, 40)), now)
+                    rid += 1
+                elif op < 0.8:
+                    load.steal_queued(now)
+                live_prompt = sum(r.request.prompt_len for r in load.records)
+                live_total = sum(
+                    r.request.prompt_len + r.request.output_len - 1
+                    for r in load.records
+                )
+                q = load.queued_prefill_tokens(now)
+                o = load.outstanding_tokens(now)
+                assert 0.0 <= q <= live_prompt + 1e-9
+                assert 0.0 <= o <= live_total + 1e-9
+                assert load.work_seconds(now) >= 0.0
+                if not load.records:
+                    assert load.work_seconds(now) == 0.0
