@@ -167,6 +167,74 @@ def routing_table(
     return ascii_table(headers, rows, title=title)
 
 
+def fleet_table(
+    results: Mapping[str, EngineResult],
+    title: str | None = None,
+    ttft_slo: float | None = None,
+    tpot_slo: float | None = None,
+) -> str:
+    """Per-run elastic-fleet detail from the lifecycle-managed cluster.
+
+    Columns: autoscaler policy, peak and time-weighted mean active
+    replica count, scale events (ups/downs), billed replica-seconds
+    (provisioning start to stop/makespan — the quantity autoscaling
+    exists to shrink), and goodput per replica-second (SLO-met requests
+    per billed replica-second; with no SLO given every served request
+    counts). Fixed-fleet runs are shown too — peak == mean == dp and
+    zero scale events — so autoscaled rows have their static baseline in
+    the same table. Runs that never routed (no router stats at all) are
+    skipped; raises if none qualify.
+    """
+    rows = []
+    for k, r in results.items():
+        stats = r.router
+        if stats is None:
+            continue
+        fleet = stats.fleet
+        if fleet is None:
+            # Fixed fleet: every replica is billed for the whole run.
+            replica_seconds = stats.num_replicas * r.total_time
+            policy, peak, mean = "none", stats.num_replicas, float(stats.num_replicas)
+            ups = downs = 0
+        else:
+            replica_seconds = fleet.replica_seconds
+            policy, peak, mean = fleet.autoscaler, fleet.peak_dp, fleet.mean_dp
+            ups, downs = fleet.scale_ups, fleet.scale_downs
+        attainment = (
+            r.latency.slo_attainment(ttft_slo=ttft_slo, tpot_slo=tpot_slo)
+            if r.latency is not None and (ttft_slo is not None or tpot_slo is not None)
+            else 1.0
+        )
+        goodput = (
+            attainment * r.num_requests / replica_seconds
+            if replica_seconds > 0
+            else 0.0
+        )
+        rows.append(
+            [
+                k,
+                policy,
+                str(peak),
+                f"{mean:.2f}",
+                f"+{ups}/-{downs}",
+                f"{replica_seconds:.1f}",
+                f"{goodput:.4f}",
+            ]
+        )
+    if not rows:
+        raise ConfigurationError("no results carry replica fleet statistics")
+    headers = [
+        "run",
+        "autoscaler",
+        "peak-dp",
+        "mean-dp",
+        "scale",
+        "replica-s",
+        "goodput/replica-s",
+    ]
+    return ascii_table(headers, rows, title=title)
+
+
 def latency_table(
     results: Mapping[str, EngineResult],
     title: str | None = None,

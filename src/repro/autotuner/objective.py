@@ -157,8 +157,15 @@ class ServingObjective:
         # from the decode side's when callers pass an unmatched pair).
         prefill_latency = avg_input_len * dp / rates.prefill_tokens_per_s
         # One decode iteration advances every sequence of the batch one
-        # token, so the per-sequence inter-token time is the iteration.
-        tpot = rates.max_batch_size / rates.decode_tokens_per_s
+        # token, so the per-sequence inter-token time is the iteration —
+        # preferring the context-growth-aware estimate (mean iteration
+        # time over the in -> in+out context trajectory, overhead
+        # included) over the first-order batch/rate quotient, which
+        # under-predicts measured inter-token time at high batch.
+        if rates.tpot_s is not None:
+            tpot = rates.tpot_s
+        else:
+            tpot = rates.max_batch_size / rates.decode_tokens_per_s
 
         # M/M/c over the dp replicas (each serving at mu / dp): the wait
         # probability is Erlang C on the offered load in erlangs. dp == 1

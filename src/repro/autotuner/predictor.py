@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.costmodel.step import StepCostModel
+from repro.costmodel.step import ITERATION_OVERHEAD, StepCostModel
 from repro.errors import CapacityError
 from repro.hardware.cluster import ClusterSpec
 from repro.models.config import ModelConfig
@@ -38,7 +38,10 @@ class PredictedRates:
     ``config`` is the decode-side configuration (the seed convention);
     ``prefill_config`` carries the prefill side so consumers that need the
     prefill DP group (the serving objective's per-replica prefill latency)
-    do not have to assume the pair is DP-matched.
+    do not have to assume the pair is DP-matched. ``tpot_s`` is the
+    context-growth-aware mean inter-token time of one request
+    (:func:`predict_decode_tpot`); ``None`` falls back to the first-order
+    batch/rate quotient in consumers that predate it.
     """
 
     config: ParallelConfig
@@ -47,6 +50,7 @@ class PredictedRates:
     request_rate: float
     max_batch_size: int
     prefill_config: ParallelConfig | None = None
+    tpot_s: float | None = None
 
 
 def predict_prefill_rate(
@@ -89,6 +93,50 @@ def predict_decode_rate(
     return cfg.dp * b_max / iteration.total, b_max * cfg.dp
 
 
+def predict_decode_tpot(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    cfg: ParallelConfig,
+    avg_input_len: float,
+    avg_output_len: float,
+    max_num_seqs: int = 512,
+    concurrency: int | None = None,
+    samples: int = 9,
+) -> float:
+    """Context-growth-aware mean inter-token time of one request.
+
+    A request's inter-token gap is the decode iteration time of the batch
+    it rides in, and that batch's context *grows* as every sequence
+    decodes: at decode step ``j`` the mean context is ``in + j`` tokens,
+    not the initial ``in`` — and in the KV-bound regime the sustainable
+    batch simultaneously shrinks (``capacity / ctx``), so the per-token
+    time drifts over the decode. The estimate here averages the iteration
+    time (including the fixed per-iteration overhead the engines pay)
+    over evenly spaced points of the ``ctx: in -> in + out`` trajectory,
+    instead of evaluating one initial- or mid-point context.
+    """
+    from dataclasses import replace
+
+    if avg_input_len <= 0 or avg_output_len <= 0:
+        raise CapacityError("workload averages must be positive")
+    replica = replace(cfg, dp=1)
+    costs = StepCostModel(model, cluster, replica)
+    capacity = kv_capacity_tokens(model, cluster, replica)
+    cap_seqs = max_num_seqs
+    if concurrency is not None:
+        cap_seqs = min(cap_seqs, -(-concurrency // cfg.dp))
+    steps = max(0.0, avg_output_len - 1.0)
+    points = min(samples, max(1, int(steps) + 1))
+    total = 0.0
+    for k in range(points):
+        frac = k / (points - 1) if points > 1 else 0.5
+        ctx = avg_input_len + frac * steps
+        b = max(1, min(int(capacity / ctx), cap_seqs))
+        iteration = costs.decode_iteration_time(b, int(b * ctx))
+        total += iteration.total + ITERATION_OVERHEAD
+    return total / points
+
+
 def predict_request_rate(
     model: ModelConfig,
     cluster: ClusterSpec,
@@ -123,4 +171,13 @@ def predict_request_rate(
         request_rate=1.0 / seconds_per_request,
         max_batch_size=b_max,
         prefill_config=prefill_cfg,
+        tpot_s=predict_decode_tpot(
+            model,
+            cluster,
+            decode_cfg,
+            avg_input_len,
+            avg_output_len,
+            max_num_seqs,
+            concurrency,
+        ),
     )

@@ -14,11 +14,18 @@ All commands are deterministic given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Sequence
 
-from repro.analysis.report import comparison_table, latency_table, routing_table
+from repro.analysis.report import (
+    comparison_table,
+    fleet_table,
+    latency_table,
+    routing_table,
+)
 from repro.autotuner.objective import OBJECTIVES, ServingObjective
+from repro.cluster.autoscaler import AUTOSCALER_POLICIES
 from repro.autotuner.search import (
     best_seesaw_pair,
     best_static_config,
@@ -28,7 +35,7 @@ from repro.autotuner.search import (
 from repro.core.engine import SeesawEngine
 from repro.engines.base import EngineOptions
 from repro.engines.vllm_like import VllmLikeEngine
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.hardware.cluster import make_cluster
 from repro.models.registry import get_model
 from repro.parallel.config import parse_config, parse_transition
@@ -101,6 +108,29 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "predicted load ledger",
     )
     parser.add_argument(
+        "--autoscaler",
+        default="none",
+        help="elastic-fleet scaling policy on the coupled path "
+        f"({' | '.join(AUTOSCALER_POLICIES)}); threshold scales on "
+        "observed queue depth / idle fraction, predictive right-sizes "
+        "with the serving objective's Erlang-C wait; scale-ups pay the "
+        "cost-model provisioning latency (weight load + KV warmup) and "
+        "scale-downs drain (default none: fixed fleet)",
+    )
+    parser.add_argument(
+        "--min-dp",
+        type=int,
+        default=None,
+        help="floor on the autoscaled replica count (default 1)",
+    )
+    parser.add_argument(
+        "--max-dp",
+        type=int,
+        default=None,
+        help="ceiling on the autoscaled replica count (default: as many "
+        "replicas as the cluster's GPUs can hold)",
+    )
+    parser.add_argument(
         "--ttft-slo",
         type=float,
         default=None,
@@ -154,10 +184,25 @@ def _make_workload(args: argparse.Namespace):
         workload = sample_dataset(
             args.dataset, num_requests=args.num_requests, seed=args.seed
         )
-    if args.request_rate < 0:
-        raise ReproError(
+    if not math.isfinite(args.request_rate) or args.request_rate < 0:
+        raise ConfigurationError(
             f"--request-rate must be >= 0 (got {args.request_rate:g}); "
             "0 runs offline with every request at t=0"
+        )
+    if args.arrival.startswith(DIURNAL_PREFIX) and args.request_rate <= 0:
+        raise ConfigurationError(
+            f"--arrival {args.arrival} needs --request-rate > 0 (the "
+            "day-shape modulates the mean offered rate)"
+        )
+    if (
+        getattr(args, "autoscaler", "none") != "none"
+        and args.request_rate <= 0
+        and not args.arrival.startswith(TRACE_PREFIX)
+    ):
+        raise ConfigurationError(
+            f"--autoscaler {args.autoscaler} needs an online workload: pass "
+            "--request-rate > 0 (or an arrival trace) — an offline t=0 "
+            "burst has no arrival process to scale against"
         )
     if args.arrival.startswith(TRACE_PREFIX):
         workload = make_arrivals(workload, args.arrival, args.request_rate)
@@ -213,6 +258,17 @@ def _print_result(
         print(f"latency: {result.latency.describe()}")
     if result.router is not None and result.router.num_replicas > 1:
         print(f"routing: {result.router.describe()}")
+    if result.router is not None and result.router.fleet is not None:
+        print(f"fleet: {result.router.fleet.describe()}")
+        print()
+        print(
+            fleet_table(
+                {result.label: result},
+                title="elastic fleet",
+                ttft_slo=ttft_slo,
+                tpot_slo=tpot_slo,
+            )
+        )
     print(comparison_table({result.label: result}))
     if (ttft_slo is not None or tpot_slo is not None) and result.latency is not None:
         print()
@@ -240,6 +296,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         ttft_slo=args.ttft_slo,
         tpot_slo=args.tpot_slo,
         coupled=args.coupled,
+        autoscaler=args.autoscaler,
+        min_dp=args.min_dp,
+        max_dp=args.max_dp,
     )
     if "->" in args.config:
         from repro.core.options import SeesawOptions
@@ -254,6 +313,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             ttft_slo=args.ttft_slo,
             tpot_slo=args.tpot_slo,
             coupled=args.coupled,
+            autoscaler=args.autoscaler,
+            min_dp=args.min_dp,
+            max_dp=args.max_dp,
             # The SLO objective lets Seesaw's phase loop weigh waiting for
             # predicted arrivals against re-sharding immediately.
             arrival_rate=objective.arrival_rate_hint,
@@ -278,7 +340,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
     slo_opts = dict(ttft_slo=args.ttft_slo, tpot_slo=args.tpot_slo)
     router_opts = dict(
-        router=args.router, router_seed=args.seed, coupled=args.coupled, **slo_opts
+        router=args.router,
+        router_seed=args.seed,
+        coupled=args.coupled,
+        autoscaler=args.autoscaler,
+        min_dp=args.min_dp,
+        max_dp=args.max_dp,
+        **slo_opts,
     )
     static_cfg = best_static_config(
         model,
@@ -354,8 +422,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     results: dict[str, EngineResult] = {}
     slo_opts = dict(ttft_slo=args.ttft_slo, tpot_slo=args.tpot_slo)
+    fleet_opts = dict(
+        autoscaler=args.autoscaler, min_dp=args.min_dp, max_dp=args.max_dp
+    )
     opts = EngineOptions(
-        router=args.router, router_seed=args.seed, coupled=args.coupled, **slo_opts
+        router=args.router,
+        router_seed=args.seed,
+        coupled=args.coupled,
+        **fleet_opts,
+        **slo_opts,
     )
     for ranked in rank_static_configs(model, cluster, workload, objective=objective):
         engine = VllmLikeEngine(model, cluster, ranked.config, opts)
@@ -364,6 +439,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         router=args.router,
         router_seed=args.seed,
         coupled=args.coupled,
+        **fleet_opts,
         **slo_opts,
         arrival_rate=objective.arrival_rate_hint,
     )
@@ -457,6 +533,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         "coupled": lambda: ex.render_coupled_sweep(
             ex.run_coupled_sweep(num_requests=40)
         ),
+        "autoscale": lambda: ex.render_autoscale_sweep(ex.run_autoscale_sweep()),
     }
     if args.artifact not in artifacts:
         print(
@@ -506,7 +583,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
     p_repro.add_argument(
         "artifact",
-        help="table1 | fig1 | ... | fig15 | latency | routing | slo | coupled",
+        help="table1 | fig1 | ... | fig15 | latency | routing | slo | "
+        "coupled | autoscale",
     )
     p_repro.set_defaults(func=cmd_reproduce)
 

@@ -19,13 +19,41 @@ system model:
   event loop: replicas advance to each arrival, the policy dispatches
   against observed load, and measured preemption storms trigger
   re-dispatch of still-pending requests.
+- :class:`~repro.cluster.fleet.ReplicaFleet` — lifecycle-managed elastic
+  membership (``provisioning -> warming -> active -> draining ->
+  stopped``) with cost-model scale-up latency (weight load + KV warmup);
+  the dispatch policies rank whatever membership is active at each
+  decision instant.
+- :mod:`repro.cluster.autoscaler` — pluggable scaling policies on the
+  shared clock (``none`` / ``threshold`` / ``predictive`` Erlang-C
+  right-sizing), driving the fleet through ``EngineOptions.autoscaler``.
 
 Enabled with ``EngineOptions(coupled=True)`` / the ``--coupled`` CLI
-flag; the ``static`` policy stays bit-exact with the decoupled path on
-offline workloads.
+flag; the ``static`` policy with ``autoscaler="none"`` stays bit-exact
+with the decoupled path on offline workloads.
 """
 
+from repro.cluster.autoscaler import (
+    AUTOSCALER_POLICIES,
+    Autoscaler,
+    PredictiveAutoscaler,
+    ThresholdAutoscaler,
+    make_autoscaler,
+)
+from repro.cluster.fleet import ReplicaFleet, ReplicaHandle, ReplicaLifecycle
 from repro.cluster.replica import ObservedLoad, ReplicaSim
 from repro.cluster.simulator import ClusterSimulator
 
-__all__ = ["ClusterSimulator", "ObservedLoad", "ReplicaSim"]
+__all__ = [
+    "AUTOSCALER_POLICIES",
+    "Autoscaler",
+    "ClusterSimulator",
+    "ObservedLoad",
+    "PredictiveAutoscaler",
+    "ReplicaFleet",
+    "ReplicaHandle",
+    "ReplicaLifecycle",
+    "ReplicaSim",
+    "ThresholdAutoscaler",
+    "make_autoscaler",
+]

@@ -1,0 +1,384 @@
+"""Lifecycle-managed elastic replica fleet for the coupled simulator.
+
+Every layer below PR 4 assumed a replica set fixed at t=0. This module
+removes that assumption: a :class:`ReplicaFleet` owns one
+:class:`ReplicaHandle` per replica that *ever* existed, each moving
+through the lifecycle
+
+    provisioning -> warming -> active -> draining -> stopped
+
+on the cluster's shared virtual clock. Scale-up is not free: a new
+replica first loads its weight shard over the host link
+(:class:`~repro.costmodel.transfer.TransferModel` — GPUs of a replica
+load their shards concurrently, so the per-GPU time is the wall time)
+and then warms its KV region (one streaming pass over the KV pool at
+attainable HBM bandwidth: allocation plus page-touch). Only then does it
+become *active* and enter the dispatch membership. Scale-down drains: a
+draining replica accepts no new dispatches but finishes everything
+already dispatched to it, then stops.
+
+Membership changes are first-class events: activations and stops are
+timestamped, logged (:class:`~repro.routing.stats.FleetEvent`) and folded
+into the run's :class:`~repro.routing.stats.FleetStats` (peak/mean dp,
+replica-seconds, scale counts). With no autoscaler the fleet is simply
+the fixed replica set of the engine's configuration, active from t=0 —
+bit-exact with the fixed-fleet simulator it replaces.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import TYPE_CHECKING, Iterator
+
+from repro.cluster.replica import ObservedLoad, ReplicaSim
+from repro.costmodel.transfer import TransferModel
+from repro.errors import ConfigurationError, SimulationError
+from repro.parallel.memory import kv_capacity_bytes_per_gpu, weight_bytes_per_gpu
+from repro.routing.load import RouterContext
+from repro.routing.stats import FleetEvent, FleetStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engines.base import BaseEngine
+
+_EPS = 1e-12
+
+
+class ReplicaLifecycle(enum.Enum):
+    """Where one replica is in its provision/serve/retire life."""
+
+    PROVISIONING = "provisioning"  # loading the weight shard host->GPU
+    WARMING = "warming"  # initializing the KV region
+    ACTIVE = "active"  # in the dispatch membership
+    DRAINING = "draining"  # finishing in-flight work, no new dispatches
+    STOPPED = "stopped"  # fully drained and released
+
+
+def provision_times(engine: "BaseEngine") -> tuple[float, float]:
+    """(weight-load seconds, KV-warmup seconds) for one new replica.
+
+    Weight load: each GPU of the replica pulls its shard
+    (:func:`weight_bytes_per_gpu`) over its own host link concurrently,
+    so the wall time is one shard over the pinned-staging link. KV
+    warmup: the freshly allocated KV region is touched once at attainable
+    HBM bandwidth (allocation + zeroing — the pool must exist before the
+    first prefill can write into it).
+    """
+    cfg = engine.replica_config
+    transfer = TransferModel(engine.cluster, layout=engine.options.kv_layout)
+    weight_s = transfer.weight_load_time(weight_bytes_per_gpu(engine.model, cfg))
+    kv_bytes = max(0.0, kv_capacity_bytes_per_gpu(engine.model, engine.cluster, cfg))
+    warm_s = kv_bytes / engine.cluster.gpu.effective_bandwidth
+    return weight_s, warm_s
+
+
+class ReplicaHandle:
+    """One replica's lifecycle record; owns its simulation once active."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        created_at: float,
+        weights_ready_at: float,
+        active_at: float,
+    ) -> None:
+        self.replica_id = replica_id
+        self.created_at = created_at
+        self.weights_ready_at = weights_ready_at
+        self.active_at = active_at
+        self.state = ReplicaLifecycle.PROVISIONING
+        self.sim: ReplicaSim | None = None
+        self.load: ObservedLoad | None = None
+        self.drain_started_at: float | None = None
+        self.stopped_at: float | None = None
+
+    @property
+    def dispatchable(self) -> bool:
+        return self.state is ReplicaLifecycle.ACTIVE
+
+    @property
+    def live(self) -> bool:
+        """Whether the replica still executes events (active or draining)."""
+        return self.state in (ReplicaLifecycle.ACTIVE, ReplicaLifecycle.DRAINING)
+
+    def end_time(self, makespan: float) -> float:
+        """When this replica stopped costing anything (makespan while up)."""
+        return self.stopped_at if self.stopped_at is not None else makespan
+
+    def active_window(self, makespan: float) -> float:
+        """Seconds this replica spent dispatchable-or-draining."""
+        if self.sim is None:
+            return 0.0
+        return max(0.0, self.end_time(makespan) - self.active_at)
+
+
+class ReplicaFleet:
+    """Dynamic replica membership on the shared cluster clock."""
+
+    def __init__(
+        self,
+        engine: "BaseEngine",
+        initial_dp: int,
+        context: RouterContext,
+        *,
+        min_dp: int = 1,
+        max_dp: int | None = None,
+        autoscaler_name: str = "none",
+    ) -> None:
+        if initial_dp < 1:
+            raise ConfigurationError("fleet needs at least one initial replica")
+        if min_dp < 1:
+            raise ConfigurationError("min_dp must be >= 1")
+        gpus_per_replica = engine.replica_config.num_gpus
+        hard_cap = engine.cluster.num_gpus // gpus_per_replica
+        if max_dp is None:
+            max_dp = max(initial_dp, hard_cap)
+        if max_dp < min_dp:
+            raise ConfigurationError(
+                f"max_dp ({max_dp}) must be >= min_dp ({min_dp})"
+            )
+        if max_dp > hard_cap:
+            raise ConfigurationError(
+                f"max_dp {max_dp} needs {max_dp * gpus_per_replica} GPUs, "
+                f"cluster has {engine.cluster.num_gpus}"
+            )
+        if not min_dp <= initial_dp <= max_dp:
+            raise ConfigurationError(
+                f"initial dp {initial_dp} outside [{min_dp}, {max_dp}]"
+            )
+        self.engine = engine
+        self.context = context
+        self.min_dp = min_dp
+        self.max_dp = max_dp
+        self.autoscaler_name = autoscaler_name
+        self.weight_load_s, self.kv_warmup_s = provision_times(engine)
+        self.handles: list[ReplicaHandle] = []
+        self.events: list[FleetEvent] = []
+        self.scale_ups = 0
+        self.scale_downs = 0
+        # The fleet you start with is already resident and warm (the
+        # fixed-fleet seed semantics): active at t=0 with no provision
+        # latency and no scale event.
+        for _ in range(initial_dp):
+            handle = self._new_handle(0.0, prewarmed=True)
+            self._activate(handle)
+
+    # ------------------------------------------------------------------ #
+    # Membership views
+    # ------------------------------------------------------------------ #
+
+    def active_handles(self) -> list[ReplicaHandle]:
+        return [h for h in self.handles if h.dispatchable]
+
+    def dispatch_loads(self) -> list[ObservedLoad]:
+        """The membership view the routing policies rank right now."""
+        return [h.load for h in self.handles if h.dispatchable and h.load]
+
+    def live_sims(self) -> Iterator[ReplicaSim]:
+        """Simulations that still execute events (active + draining)."""
+        for h in self.handles:
+            if h.live and h.sim is not None:
+                yield h.sim
+
+    def sims(self) -> Iterator[ReplicaSim]:
+        """Every simulation that ever ran (any lifecycle state)."""
+        for h in self.handles:
+            if h.sim is not None:
+                yield h.sim
+
+    def handle(self, replica_id: int) -> ReplicaHandle:
+        if 0 <= replica_id < len(self.handles):
+            return self.handles[replica_id]
+        raise SimulationError(f"no replica handle with id {replica_id}")
+
+    @property
+    def active_count(self) -> int:
+        return sum(1 for h in self.handles if h.dispatchable)
+
+    @property
+    def provisioning_count(self) -> int:
+        return sum(
+            1
+            for h in self.handles
+            if h.state in (ReplicaLifecycle.PROVISIONING, ReplicaLifecycle.WARMING)
+        )
+
+    @property
+    def target_count(self) -> int:
+        """Replicas already committed: active plus in-flight scale-ups."""
+        return self.active_count + self.provisioning_count
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle events
+    # ------------------------------------------------------------------ #
+
+    def _new_handle(self, now: float, prewarmed: bool = False) -> ReplicaHandle:
+        rid = len(self.handles)
+        if prewarmed:
+            handle = ReplicaHandle(rid, now, now, now)
+        else:
+            ready = now + self.weight_load_s
+            handle = ReplicaHandle(rid, now, ready, ready + self.kv_warmup_s)
+        self.handles.append(handle)
+        return handle
+
+    def _activate(self, handle: ReplicaHandle) -> None:
+        handle.state = ReplicaLifecycle.ACTIVE
+        handle.sim = self.engine.start_replica(
+            handle.replica_id, start_time=handle.active_at
+        )
+        handle.load = ObservedLoad(handle.sim, self.context)
+
+    def poll(self, now: float) -> None:
+        """Commit every lifecycle transition due by ``now`` (the
+        membership events of the shared clock)."""
+        for h in self.handles:
+            if (
+                h.state is ReplicaLifecycle.PROVISIONING
+                and h.weights_ready_at <= now + _EPS
+            ):
+                h.state = ReplicaLifecycle.WARMING
+            if h.state is ReplicaLifecycle.WARMING and h.active_at <= now + _EPS:
+                self._activate(h)
+                self.events.append(
+                    FleetEvent(h.active_at, "active", h.replica_id, self.active_count)
+                )
+
+    def reap_drained(self) -> None:
+        """Stop draining replicas whose in-flight work has completed."""
+        for h in self.handles:
+            if h.state is not ReplicaLifecycle.DRAINING or h.sim is None:
+                continue
+            if math.isinf(h.sim.next_event_time()):
+                # The drain completes when the last in-flight event did,
+                # or at the drain order itself if the replica was already
+                # idle when it was told to go.
+                assert h.drain_started_at is not None
+                h.stopped_at = max(h.drain_started_at, h.sim.clock)
+                h.state = ReplicaLifecycle.STOPPED
+                self.events.append(
+                    FleetEvent(h.stopped_at, "stopped", h.replica_id, self.active_count)
+                )
+
+    def scale_up(self, now: float, n: int) -> int:
+        """Provision ``n`` new replicas (bounded by ``max_dp``); returns
+        how many were actually started."""
+        started = 0
+        while started < n and self.target_count < self.max_dp:
+            handle = self._new_handle(now)
+            self.scale_ups += 1
+            started += 1
+            self.events.append(
+                FleetEvent(now, "scale-up", handle.replica_id, self.active_count)
+            )
+        return started
+
+    def scale_down(self, now: float, n: int) -> int:
+        """Begin draining ``n`` active replicas (never below ``min_dp``
+        active-or-provisioning, and never the last active replica).
+
+        Drains the least-loaded replicas first (they finish soonest),
+        breaking ties toward the youngest so the long-lived low ids —
+        the stable backbone the static deal rotates over — survive.
+        """
+        drained = 0
+        while drained < n:
+            active = self.active_handles()
+            if len(active) <= 1 or self.target_count <= self.min_dp:
+                break
+            victim = min(
+                active,
+                key=lambda h: (
+                    h.sim.outstanding_tokens(now) if h.sim else 0.0,
+                    -h.replica_id,
+                ),
+            )
+            victim.state = ReplicaLifecycle.DRAINING
+            victim.drain_started_at = now
+            self.scale_downs += 1
+            drained += 1
+            self.events.append(
+                FleetEvent(now, "scale-down", victim.replica_id, self.active_count)
+            )
+        if drained:
+            self.reap_drained()
+        return drained
+
+    def resize_to(self, target: int, now: float) -> None:
+        """Move the committed replica count toward ``target``."""
+        target = max(self.min_dp, min(self.max_dp, target))
+        current = self.target_count
+        if target > current:
+            self.scale_up(now, target - current)
+        elif target < current:
+            self.scale_down(now, current - target)
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    def makespan(self) -> float:
+        """Latest instant any replica's simulation reached."""
+        return max((sim.clock for sim in self.sims()), default=0.0)
+
+    def idle_fractions(self, makespan: float) -> tuple[float, ...]:
+        """Idle fraction per handle, normalized by its *active window*.
+
+        A replica is charged the time it slept on an empty queue plus the
+        tail between its last event and the end of its window — which is
+        the cluster makespan while it stays up, or its stop time once
+        drained (a stopped replica is not idle after it stops, and no
+        replica is idle before it exists).
+        """
+        fractions = []
+        for h in self.handles:
+            window = h.active_window(makespan)
+            if h.sim is None or window <= 0:
+                fractions.append(0.0)
+                continue
+            tail = max(0.0, h.end_time(makespan) - h.sim.clock)
+            fractions.append(min(1.0, (h.sim.idle_time() + tail) / window))
+        return tuple(fractions)
+
+    def stats(self, makespan: float) -> FleetStats:
+        """Fold the lifecycle log into the run's fleet summary."""
+        # Time-weighted active count / peak via an event sweep over the
+        # active windows [active_at, end).
+        deltas: dict[float, int] = {}
+        for h in self.handles:
+            if h.sim is None:
+                continue
+            end = h.end_time(makespan)
+            if end <= h.active_at:
+                continue
+            deltas[h.active_at] = deltas.get(h.active_at, 0) + 1
+            deltas[end] = deltas.get(end, 0) - 1
+        peak = 0
+        level = 0
+        active_seconds = 0.0
+        last_t: float | None = None
+        for t in sorted(deltas):
+            if last_t is not None:
+                active_seconds += level * (t - last_t)
+            level += deltas[t]
+            peak = max(peak, level)
+            last_t = t
+        billed = sum(h.end_time(makespan) - h.created_at for h in self.handles)
+        provision = sum(
+            max(0.0, min(h.active_at, makespan) - h.created_at)
+            for h in self.handles
+        )
+        return FleetStats(
+            autoscaler=self.autoscaler_name,
+            min_dp=self.min_dp,
+            max_dp=self.max_dp,
+            num_handles=len(self.handles),
+            peak_dp=peak,
+            mean_dp=active_seconds / makespan if makespan > 0 else 0.0,
+            replica_seconds=billed,
+            active_replica_seconds=active_seconds,
+            provision_seconds=provision,
+            scale_ups=self.scale_ups,
+            scale_downs=self.scale_downs,
+            events=tuple(self.events),
+        )

@@ -41,12 +41,19 @@ class ReplicaSim:
     """One DP replica driven event-by-event on the shared cluster clock."""
 
     def __init__(
-        self, engine: "BaseEngine", replica_id: int, requests: list[Request] | None = None
+        self,
+        engine: "BaseEngine",
+        replica_id: int,
+        requests: list[Request] | None = None,
+        start_time: float = 0.0,
     ) -> None:
         self.engine = engine
         self.replica_id = replica_id
         self.run = engine._replica_setup(list(requests or []), replica_id)
-        self.clock = 0.0
+        # A replica born mid-run (an elastic scale-up) starts its clock at
+        # its activation instant: idle/phase accounting then covers only
+        # the window in which the replica actually existed.
+        self.clock = start_time
         self._events = None
         # Observed-preemption watermark of the last storm check (the
         # coupled analog of ReplicaLoad.storm_preemptions resets).

@@ -5,10 +5,19 @@ every dispatch before any replica simulates, ranking replicas by a
 *predicted* load ledger. :class:`ClusterSimulator` instead interleaves
 dispatch into the discrete-event loop: it repeatedly pops the earliest
 event among {next request arrival, each replica's next iteration
-boundary}, runs replica iterations up to each arrival, and only then asks
-the dispatch policy to place the arrival — against the replicas'
-**observed** state (actual queued tokens, measured preemptions, real idle
-gaps) via :class:`~repro.cluster.replica.ObservedLoad`.
+boundary, fleet membership changes}, runs replica iterations up to each
+arrival, and only then asks the dispatch policy to place the arrival —
+against the replicas' **observed** state (actual queued tokens, measured
+preemptions, real idle gaps) via :class:`~repro.cluster.replica.ObservedLoad`.
+
+Replica membership is owned by a :class:`~repro.cluster.fleet.ReplicaFleet`
+rather than fixed at t=0: an optional autoscaler
+(:mod:`repro.cluster.autoscaler`) is consulted on the shared clock and
+its scale decisions become lifecycle events — new replicas pay the
+cost-model provisioning latency (weight load + KV warmup) before joining
+the dispatch membership, and scaled-down replicas drain their in-flight
+work without accepting new dispatches. The routing policies rank whatever
+membership is dispatchable at each decision instant.
 
 Storm handling is observed too: when a replica's *measured* preemption
 count since its last reset crosses the storm threshold, every request its
@@ -16,17 +25,23 @@ scheduler has not yet seen is withdrawn and re-dispatched to the calmest
 replica — the coupled analog of the decoupled router's
 predicted-preemption rebalancing.
 
-With the ``static`` policy nothing depends on load at all, so a coupled
-run reproduces the decoupled per-replica results bit-exactly on offline
-workloads (the golden-equivalence contract the tests pin).
+With the ``static`` policy and no autoscaler nothing depends on load or
+membership at all, so a coupled run reproduces the decoupled per-replica
+results bit-exactly on offline workloads (the golden-equivalence contract
+the tests pin).
 """
 
 from __future__ import annotations
 
 from typing import Sequence as TypingSequence, TYPE_CHECKING
 
-from repro.cluster.replica import ObservedLoad, ReplicaSim
+import math
+
+from repro.cluster.autoscaler import make_autoscaler
+from repro.cluster.fleet import ReplicaFleet
+from repro.cluster.replica import ReplicaSim
 from repro.errors import ConfigurationError, SimulationError
+from repro.routing.load import _duration
 from repro.routing.policies import DEFAULT_STORM_PREEMPTIONS
 from repro.routing.stats import RouterStats
 from repro.runtime.metrics import EngineResult, merge_dp_results
@@ -38,7 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class ClusterSimulator:
-    """Shared-clock co-simulation of an engine's DP replicas."""
+    """Shared-clock co-simulation of an engine's DP replica fleet."""
 
     def __init__(
         self,
@@ -54,19 +69,54 @@ class ClusterSimulator:
             raise ConfigurationError("storm_preemptions must be >= 1")
         # The policy object supplies select() and the rate context; its
         # predictive ledgers are replaced by observed views of the live
-        # replica simulations.
+        # replica simulations, narrowed to the dispatchable membership
+        # before every decision.
         self.policy = engine.make_router(self.requests)
-        self.num_replicas = self.policy.num_replicas
-        self.sims = [engine.start_replica(i) for i in range(self.num_replicas)]
-        self.loads = [ObservedLoad(sim, self.policy.context) for sim in self.sims]
-        self.policy.loads = self.loads
+        options = engine.options
+        min_dp = options.min_dp if options.min_dp is not None else 1
+        max_dp = options.max_dp
+        if options.autoscaler == "none":
+            # Fixed fleet: exactly the configuration's replica set.
+            min_dp = max_dp = engine.config.dp
+        initial_dp = max(min_dp, min(engine.config.dp, max_dp or engine.config.dp))
+        self.fleet = ReplicaFleet(
+            engine,
+            initial_dp,
+            self.policy.context,
+            min_dp=min_dp,
+            max_dp=max_dp,
+            autoscaler_name=options.autoscaler,
+        )
+        if options.autoscaler == "none":
+            self.autoscaler = None
+        else:
+            context = self.policy.context
+            self.autoscaler = make_autoscaler(
+                options.autoscaler,
+                self.fleet.min_dp,
+                self.fleet.max_dp,
+                up_queue_tokens=float(options.max_batched_tokens),
+                capacity_rps_per_replica=_capacity_rps(context, self.requests),
+                prefill_latency_s=_mean_prefill_latency(context, self.requests),
+                ttft_slo=options.ttft_slo,
+            )
         self.storm_preemptions = storm_preemptions
         self.redispatched_requests = 0
         self.redispatches = 0
         # Per-dispatch decision log: (request_id, replica, observed queued
-        # prefill tokens per replica at the decision instant). Consumed by
-        # tests and debugging; cheap at simulation scale.
+        # prefill tokens per *dispatchable* replica at the decision
+        # instant). Consumed by tests and debugging; cheap at simulation
+        # scale.
         self.dispatch_log: list[tuple[int, int, tuple[float, ...]]] = []
+
+    @property
+    def sims(self) -> list[ReplicaSim]:
+        """Every replica simulation that exists, in replica-id order."""
+        return list(self.fleet.sims())
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.fleet.handles)
 
     # ------------------------------------------------------------------ #
 
@@ -76,30 +126,45 @@ class ClusterSimulator:
         order = sorted(range(len(reqs)), key=lambda i: (reqs[i].arrival_time, i))
         trace_armed = self.engine.options.trace
         traced_sim: ReplicaSim | None = None
+        fleet = self.fleet
         last_now = -1.0
 
         for i in order:
             req = reqs[i]
             now = req.arrival_time
+            # Commit membership events due by this instant (replicas whose
+            # provisioning/warming finished join the dispatchable set).
+            fleet.poll(now)
             if now > last_now:
                 # Stepping to a new instant: refresh the recency window so
                 # only preemptions committed by *this* advance read as
                 # "just happened" (the decaying slo penalty).
-                for sim in self.sims:
+                for sim in fleet.live_sims():
                     sim.preemption_snapshot = sim.observed_preemptions()
                 last_now = now
             # Pop every replica event (iteration boundary or idle jump)
-            # that precedes this arrival.
-            for sim in self.sims:
+            # that precedes this arrival — draining replicas keep working
+            # through their in-flight backlog too.
+            for sim in fleet.live_sims():
                 sim.advance(now)
-            queues = tuple(load.queued_prefill_tokens(now) for load in self.loads)
+            fleet.reap_drained()
+            if self.autoscaler is not None:
+                self.autoscaler.note_arrival(now)
+                target = self.autoscaler.decide(now, fleet)
+                if target is not None:
+                    fleet.resize_to(target, now)
+            loads = fleet.dispatch_loads()
+            if not loads:
+                raise SimulationError("fleet has no dispatchable replica")
+            self.policy.loads = loads
+            queues = tuple(load.queued_prefill_tokens(now) for load in loads)
             rid = self.policy.select(req, i, now)
-            if not 0 <= rid < self.num_replicas:
+            handle = fleet.handle(rid)
+            if not handle.dispatchable or handle.sim is None:
                 raise SimulationError(
-                    f"{self.policy.name} selected replica {rid} of "
-                    f"{self.num_replicas}"
+                    f"{self.policy.name} selected non-dispatchable replica {rid}"
                 )
-            sim = self.sims[rid]
+            sim = handle.sim
             if trace_armed:
                 # Trace the first replica that receives work (the coupled
                 # analog of tracing the first non-empty partition).
@@ -109,20 +174,22 @@ class ClusterSimulator:
             sim.inject(req)
             sim.note_queue_depth(now)
             self.dispatch_log.append((req.request_id, rid, queues))
-            if self.policy.rebalance_on_storm and self.num_replicas > 1:
+            if self.policy.rebalance_on_storm and len(loads) > 1:
                 moved = self._redispatch_storms(now)
                 if moved:
                     self.redispatched_requests += moved
                     self.redispatches += 1
 
-        for sim in self.sims:
+        for sim in fleet.live_sims():
             sim.finish()
+        fleet.reap_drained()
         if traced_sim is not None:
             self.engine.last_trace = traced_sim.run.trace
 
+        makespan = fleet.makespan()
         results = [
             self.engine._replica_result(sim.run, sim.clock)
-            for sim in self.sims
+            for sim in fleet.sims()
             if sim.run.requests
         ]
         if not results:
@@ -131,7 +198,10 @@ class ClusterSimulator:
             results,
             engine=self.engine.name,
             label=self.engine.label(),
-            router=self._stats(),
+            router=self._stats(makespan),
+            # Partial-lifetime replicas may all have drained before the
+            # fleet's last event; the cluster makespan is authoritative.
+            total_time=makespan,
         )
 
     # ------------------------------------------------------------------ #
@@ -141,24 +211,26 @@ class ClusterSimulator:
     def _redispatch_storms(self, now: float) -> int:
         """Move unseen requests away from replicas in a measured storm.
 
-        A replica whose observed preemption count since its last reset
-        reached the threshold has every still-pending (never admitted)
-        request withdrawn and re-dispatched to the least-loaded calm
-        replica — ranked at the shared instant ``now`` so replicas whose
-        committed iterations overshot the clock are compared fairly.
+        A dispatchable replica whose observed preemption count since its
+        last reset reached the threshold has every still-pending (never
+        admitted) request withdrawn and re-dispatched to the least-loaded
+        calm replica — ranked at the shared instant ``now`` so replicas
+        whose committed iterations overshot the clock are compared fairly.
         Requiring a calm target keeps two storming replicas from bouncing
         the same requests back and forth; with no calm replica the work
-        stays put.
+        stays put. Draining replicas neither give up their in-flight
+        backlog nor receive new work here.
         """
+        sims = [h.sim for h in self.fleet.active_handles() if h.sim is not None]
         storming = [
             sim
-            for sim in self.sims
+            for sim in sims
             if sim.observed_preemptions() - sim.preemption_mark
             >= self.storm_preemptions
         ]
         if not storming:
             return 0
-        calm = [sim for sim in self.sims if sim not in storming]
+        calm = [sim for sim in sims if sim not in storming]
         if not calm:
             return 0
         moved = 0
@@ -184,36 +256,61 @@ class ClusterSimulator:
     # Stats
     # ------------------------------------------------------------------ #
 
-    def _stats(self) -> RouterStats:
-        n = self.num_replicas
-        # Idle is judged against the cluster makespan: a replica that
-        # drained early and sat unused while others kept working is idle
-        # for that tail too (that is exactly the imbalance signal).
-        makespan = max(s.clock for s in self.sims)
-        idle_fraction = tuple(
-            min(1.0, (s.idle_time() + (makespan - s.clock)) / makespan)
-            if makespan > 0
-            else 0.0
-            for s in self.sims
-        )
+    def _stats(self, makespan: float) -> RouterStats:
+        fleet = self.fleet
+        handles = fleet.handles
+        n = len(handles)
+
+        def per_sim(fn, default):
+            return tuple(
+                fn(h.sim) if h.sim is not None else default for h in handles
+            )
+
         return RouterStats(
             policy=self.policy.name,
             num_replicas=n,
-            requests_per_replica=tuple(len(s.run.requests) for s in self.sims),
-            tokens_per_replica=tuple(
-                sum(r.total_tokens for r in s.run.requests) for s in self.sims
+            requests_per_replica=per_sim(lambda s: len(s.run.requests), 0),
+            tokens_per_replica=per_sim(
+                lambda s: sum(r.total_tokens for r in s.run.requests), 0
             ),
-            peak_queued_prefill_tokens=tuple(
-                s.peak_queued_prefill_tokens for s in self.sims
+            peak_queued_prefill_tokens=per_sim(
+                lambda s: s.peak_queued_prefill_tokens, 0.0
             ),
             # Nothing is *predicted* on the coupled path; the measured
             # counter rides in observed_preemptions instead.
             predicted_preemptions=(0,) * n,
             coupled=True,
-            observed_preemptions=tuple(
-                s.observed_preemptions() for s in self.sims
-            ),
-            idle_fraction=idle_fraction,
+            observed_preemptions=per_sim(lambda s: s.observed_preemptions(), 0),
+            # Idle is judged against each replica's *active window*: a
+            # replica that drained early and sat unused while others kept
+            # working is idle for that tail too, but a replica is not
+            # idle before it was provisioned or after it stopped.
+            idle_fraction=fleet.idle_fractions(makespan),
             redispatched_requests=self.redispatched_requests,
             redispatches=self.redispatches,
+            fleet=fleet.stats(makespan) if fleet.autoscaler_name != "none" else None,
         )
+
+
+def _workload_averages(requests: list[Request]) -> tuple[float, float]:
+    n = len(requests)
+    avg_in = sum(r.prompt_len for r in requests) / n
+    avg_out = sum(r.output_len for r in requests) / n
+    return avg_in, avg_out
+
+
+def _capacity_rps(context, requests: list[Request]) -> float:
+    """Analytic per-replica request capacity from the router context's
+    service rates (the predictive autoscaler's ``mu1``)."""
+    avg_in, avg_out = _workload_averages(requests)
+    seconds = _duration(avg_in, context.prefill_tokens_per_s)
+    seconds += _duration(max(0.0, avg_out - 1.0), context.decode_tokens_per_s)
+    if seconds <= 0 or not math.isfinite(seconds):
+        return 1.0  # degenerate context: neutral capacity
+    return 1.0 / seconds
+
+
+def _mean_prefill_latency(context, requests: list[Request]) -> float:
+    avg_in, _ = _workload_averages(requests)
+    latency = _duration(avg_in, context.prefill_tokens_per_s)
+    return latency if math.isfinite(latency) else 0.0

@@ -17,6 +17,7 @@ from typing import Iterable, Sequence as TypingSequence
 from repro.costmodel.breakdown import Breakdown
 from repro.costmodel.pipeline import pipeline_time_heterogeneous
 from repro.costmodel.step import ITERATION_OVERHEAD, StepCostModel
+from repro.cluster.autoscaler import AUTOSCALER_POLICIES
 from repro.costmodel.transfer import KVLayout
 from repro.errors import CapacityError, ConfigurationError, SimulationError
 from repro.hardware.cluster import ClusterSpec
@@ -65,6 +66,16 @@ class EngineOptions:
             *observed* state (actual queued tokens, measured preemptions,
             idle gaps) instead of the predicted load ledger. Off by
             default — the decoupled path stays bit-exact with the seed.
+        autoscaler: Elastic-fleet scaling policy on the coupled path
+            (:mod:`repro.cluster.autoscaler`): ``none`` (the default)
+            keeps the configuration's fixed replica set, ``threshold``
+            scales on observed queue depth / idle fraction, and
+            ``predictive`` right-sizes with the serving objective's
+            Erlang-C wait. Anything but ``none`` requires ``coupled``
+            (membership events live on the shared clock).
+        min_dp: Floor on the autoscaled replica count (default 1).
+        max_dp: Ceiling on the autoscaled replica count (default: as many
+            replicas as the cluster's GPUs can hold).
     """
 
     max_num_seqs: int = 512
@@ -79,6 +90,9 @@ class EngineOptions:
     ttft_slo: float | None = None
     tpot_slo: float | None = None
     coupled: bool = False
+    autoscaler: str = "none"
+    min_dp: int | None = None
+    max_dp: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_num_seqs < 1 or self.max_batched_tokens < 1 or self.chunk_size < 1:
@@ -92,6 +106,35 @@ class EngineOptions:
         for name, slo in (("ttft_slo", self.ttft_slo), ("tpot_slo", self.tpot_slo)):
             if slo is not None and slo <= 0:
                 raise ConfigurationError(f"{name} must be positive")
+        if self.autoscaler not in AUTOSCALER_POLICIES:
+            raise ConfigurationError(
+                f"unknown autoscaler policy {self.autoscaler!r}; one of "
+                f"{AUTOSCALER_POLICIES}"
+            )
+        if self.autoscaler != "none" and not self.coupled:
+            raise ConfigurationError(
+                "autoscaling needs the event-coupled path: pass coupled=True "
+                "(--coupled) with --autoscaler"
+            )
+        for name, dp in (("min_dp", self.min_dp), ("max_dp", self.max_dp)):
+            if dp is not None and dp < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        if self.autoscaler == "none" and (
+            self.min_dp is not None or self.max_dp is not None
+        ):
+            raise ConfigurationError(
+                "min_dp/max_dp only apply with an autoscaler; without one "
+                "the fleet is fixed at the configuration's dp (pass "
+                "--autoscaler threshold|predictive)"
+            )
+        if (
+            self.min_dp is not None
+            and self.max_dp is not None
+            and self.min_dp > self.max_dp
+        ):
+            raise ConfigurationError(
+                f"min_dp ({self.min_dp}) must be <= max_dp ({self.max_dp})"
+            )
 
 
 def split_requests(
@@ -346,15 +389,22 @@ class BaseEngine(abc.ABC):
             pass
         return self._replica_result(run, now)
 
-    def start_replica(self, replica_id: int, requests: TypingSequence[Request] = ()):
+    def start_replica(
+        self,
+        replica_id: int,
+        requests: TypingSequence[Request] = (),
+        start_time: float = 0.0,
+    ):
         """Start one replica as an incrementally steppable simulation.
 
         Returns a :class:`repro.cluster.ReplicaSim` exposing
         ``next_event_time()`` / ``advance(until)`` / ``inject(request)``
-        — the interface the event-coupled cluster simulator drives."""
+        — the interface the event-coupled cluster simulator drives.
+        ``start_time`` is the replica's birth instant on the shared clock
+        (an elastic scale-up starts accounting when it becomes active)."""
         from repro.cluster.replica import ReplicaSim
 
-        return ReplicaSim(self, replica_id, list(requests))
+        return ReplicaSim(self, replica_id, list(requests), start_time=start_time)
 
     @abc.abstractmethod
     def _replica_setup(self, requests: list[Request], replica_id: int) -> ReplicaRun:

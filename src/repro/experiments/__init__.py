@@ -22,8 +22,14 @@ from repro.experiments.latency_sweep import run_latency_sweep, render_latency_sw
 from repro.experiments.routing_sweep import run_routing_sweep, render_routing_sweep
 from repro.experiments.slo_sweep import run_slo_sweep, render_slo_sweep
 from repro.experiments.coupled_sweep import run_coupled_sweep, render_coupled_sweep
+from repro.experiments.autoscale_sweep import (
+    run_autoscale_sweep,
+    render_autoscale_sweep,
+)
 
 __all__ = [
+    "run_autoscale_sweep",
+    "render_autoscale_sweep",
     "run_coupled_sweep",
     "render_coupled_sweep",
     "run_latency_sweep",

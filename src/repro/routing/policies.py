@@ -72,8 +72,16 @@ class Router(abc.ABC):
 
     @abc.abstractmethod
     def select(self, request: Request, index: int, now: float) -> int:
-        """Replica for ``request`` (submission index ``index``) arriving
-        at ``now``; loads have already been advanced to ``now``."""
+        """Replica id for ``request`` (submission index ``index``) arriving
+        at ``now``; loads have already been advanced to ``now``.
+
+        Policies rank ``self.loads`` — the *current membership view* — and
+        return the chosen entry's ``replica_id``. On the decoupled path the
+        view is the fixed replica list; the event-coupled simulator swaps
+        in the live dispatchable membership before every call (an elastic
+        fleet grows and shrinks it), so implementations must size-index
+        against ``len(self.loads)``, never ``self.num_replicas``.
+        """
 
     def route(self, requests: TypingSequence[Request]) -> RoutingPlan:
         """Dispatch every request at its arrival time; returns the plan."""
@@ -96,6 +104,7 @@ class Router(abc.ABC):
                 raise SimulationError(
                     f"{self.name} selected replica {rid} of {self.num_replicas}"
                 )
+            # Decoupled membership is fixed, so ids and positions coincide.
             self.loads[rid].dispatch(i, req, now)
             assignments[i] = rid
             if self.rebalance_on_storm and self.num_replicas > 1:
@@ -180,7 +189,10 @@ class StaticRouter(Router):
     rebalance_on_storm = False
 
     def select(self, request: Request, index: int, now: float) -> int:
-        return index % self.num_replicas
+        # Round-robin over the current membership view: with a fixed fleet
+        # this is exactly ``index % num_replicas`` (the seed deal); under
+        # elastic membership the deal rotates over whoever is active.
+        return self.loads[index % len(self.loads)].replica_id
 
 
 class JSQRouter(Router):
@@ -225,11 +237,10 @@ class Po2Router(Router):
         self.rng = make_rng(seed)
 
     def select(self, request: Request, index: int, now: float) -> int:
-        if self.num_replicas == 1:
-            return 0
-        a, b = (
-            int(x) for x in self.rng.choice(self.num_replicas, size=2, replace=False)
-        )
+        n = len(self.loads)
+        if n == 1:
+            return self.loads[0].replica_id
+        a, b = (int(x) for x in self.rng.choice(n, size=2, replace=False))
         return min(
             (self.loads[a], self.loads[b]),
             key=lambda load: (load.queued_prefill_tokens(now), load.replica_id),

@@ -29,14 +29,68 @@ def _max_over_mean(values: tuple[float, ...] | tuple[int, ...]) -> float:
 
 
 @dataclass(frozen=True)
+class FleetEvent:
+    """One replica-membership change on the cluster's shared clock."""
+
+    time: float
+    kind: str  # "scale-up" | "active" | "scale-down" | "stopped"
+    replica_id: int
+    active_dp: int  # active replica count right after the event
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Lifecycle summary of an elastic replica fleet.
+
+    Attached to :class:`RouterStats` by the event-coupled simulator when
+    the run was served by a :class:`~repro.cluster.fleet.ReplicaFleet`.
+    ``replica_seconds`` bills each replica from provisioning start to its
+    stop (or the cluster makespan while it stays up) — the quantity an
+    autoscaler exists to shrink; ``active_replica_seconds`` counts each
+    replica's serving window (activation to stop: dispatchable time plus
+    any draining tail, whose GPUs are still busy finishing in-flight
+    work), so ``mean_dp``/``peak_dp`` are the time-weighted and peak
+    serving replica counts over the run.
+    """
+
+    autoscaler: str
+    min_dp: int
+    max_dp: int
+    num_handles: int  # replicas that ever existed (any lifecycle state)
+    peak_dp: int  # max simultaneously active replicas
+    mean_dp: float  # time-weighted active replicas over the makespan
+    replica_seconds: float  # billed: provision start -> stop/makespan
+    active_replica_seconds: float
+    provision_seconds: float  # total time spent provisioning + warming
+    scale_ups: int
+    scale_downs: int
+    events: tuple[FleetEvent, ...] = ()
+
+    @property
+    def scale_events(self) -> int:
+        return self.scale_ups + self.scale_downs
+
+    def describe(self) -> str:
+        return (
+            f"{self.autoscaler}: dp peak {self.peak_dp} mean {self.mean_dp:.2f} "
+            f"| {self.scale_events} scale events (+{self.scale_ups}/-"
+            f"{self.scale_downs}) | {self.replica_seconds:.1f} replica-s"
+        )
+
+
+@dataclass(frozen=True)
 class RouterStats:
     """Summary of one routing pass over a workload.
 
     Decoupled runs fill the predicted fields; event-coupled runs
     (``coupled=True``) additionally carry what was *measured* during the
     co-simulation: per-replica observed preemption counts, idle
-    fractions, and how much still-pending work the storm re-dispatcher
-    moved between replicas.
+    fractions (normalized by each replica's active window, not the full
+    makespan — partial-lifetime replicas are not idle before they exist
+    or after they stop), and how much still-pending work the storm
+    re-dispatcher moved between replicas. Elastic runs also attach a
+    :class:`FleetStats` lifecycle record; the per-replica vectors then
+    have one entry per replica that *ever* existed.
     """
 
     policy: str
@@ -53,6 +107,8 @@ class RouterStats:
     idle_fraction: tuple[float, ...] | None = None
     redispatched_requests: int = 0
     redispatches: int = 0
+    # Elastic-fleet lifecycle record (None for fixed-membership runs).
+    fleet: FleetStats | None = None
 
     def __post_init__(self) -> None:
         vectors = (

@@ -221,13 +221,29 @@ class LatencyStats:
 
     @classmethod
     def merged(cls, parts: TypingSequence["LatencyStats"]) -> "LatencyStats":
-        """Exact union of several replicas' records (DP merge)."""
+        """Exact union of several replicas' records (DP merge).
+
+        Replicas own disjoint request partitions — including elastic
+        fleets, where a request re-dispatched away from a draining or
+        storming replica must finish on exactly one survivor — so a
+        request id appearing twice means some replica double-counted a
+        request it no longer owned; that is rejected rather than silently
+        skewing every percentile.
+        """
         if not parts:
             raise SimulationError("no latency stats to merge")
         records: list[RequestLatency] = []
         for p in parts:
             records.extend(p.records)
         records.sort(key=lambda r: r.request_id)
+        seen: set[int] = set()
+        for r in records:
+            if r.request_id in seen:
+                raise SimulationError(
+                    f"request {r.request_id} finished on two replicas "
+                    "(duplicate record in DP latency merge)"
+                )
+            seen.add(r.request_id)
         return cls(records=tuple(records))
 
     def describe(self) -> str:

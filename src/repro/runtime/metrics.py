@@ -119,6 +119,7 @@ def merge_dp_results(
     engine: str,
     label: str,
     router: RouterStats | None = None,
+    total_time: float | None = None,
 ) -> EngineResult:
     """Combine per-replica results of a data-parallel run.
 
@@ -134,13 +135,23 @@ def merge_dp_results(
     - ``transitions`` are lock-step re-shards of the whole replica group
       (Seesaw re-shards every GPU at once), so they merge with ``max``.
 
+    Partial-lifetime replicas (elastic fleets) merge on the same rules:
+    every per-replica clock lives on the shared cluster clock, so a
+    replica born late or drained early contributes only the phases of
+    its own window, and its latency records join the union unchanged.
+    The one quantity the replicas cannot answer is the run's end —
+    a drained replica's clock stops when *its* work stops — so callers
+    that know the cluster makespan pass it as ``total_time`` (defaults
+    to the slowest replica, the full-lifetime behaviour).
+
     ``router`` is the cluster-level dispatch record of the run that
     produced these partitions; it is attached as-is (routing happens once,
     above the replicas, so there is nothing per-replica to merge).
     """
     if not results:
         raise SimulationError("no replica results to merge")
-    total_time = max(r.total_time for r in results)
+    if total_time is None:
+        total_time = max(r.total_time for r in results)
     phase: dict[str, float] = {}
     for r in results:
         for k, v in r.phase_time.items():

@@ -431,3 +431,115 @@ class TestOnlineFlags:
         assert rc == 0
         out = capsys.readouterr().out
         assert "speedup:" in out and "ttft-p90" in out
+
+
+class TestFleetCli:
+    """Elastic-fleet flags: wiring and clean validation errors."""
+
+    def test_autoscaled_run_prints_fleet_table(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--model",
+                "15b",
+                "--num-gpus",
+                "8",
+                "--config",
+                "T2",
+                "--dataset",
+                "const:1024x32",
+                "--num-requests",
+                "24",
+                "--request-rate",
+                "3.0",
+                "--arrival",
+                "diurnal:15",
+                "--router",
+                "jsq",
+                "--coupled",
+                "--autoscaler",
+                "threshold",
+                "--min-dp",
+                "1",
+                "--max-dp",
+                "4",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fleet:" in out
+        assert "peak-dp" in out and "replica-s" in out
+
+    def assert_clean_error(self, capsys, argv, fragment):
+        """The CLI must exit 1 with a one-line error (no traceback)."""
+        rc = main(argv)
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert fragment in err
+        assert "Traceback" not in err
+
+    def test_negative_request_rate_is_clean_error(self, capsys):
+        self.assert_clean_error(
+            capsys,
+            ["run", "--request-rate", "-1"],
+            "--request-rate must be >= 0",
+        )
+
+    def test_autoscaler_without_rate_is_clean_error(self, capsys):
+        self.assert_clean_error(
+            capsys,
+            ["run", "--coupled", "--autoscaler", "threshold"],
+            "needs an online workload",
+        )
+
+    def test_diurnal_without_rate_is_clean_error(self, capsys):
+        self.assert_clean_error(
+            capsys,
+            ["run", "--arrival", "diurnal:60"],
+            "needs --request-rate > 0",
+        )
+
+    def test_unknown_autoscaler_is_clean_error(self, capsys):
+        self.assert_clean_error(
+            capsys,
+            ["run", "--coupled", "--request-rate", "1", "--autoscaler", "bogus"],
+            "unknown autoscaler policy 'bogus'",
+        )
+
+    def test_min_dp_above_max_dp_is_clean_error(self, capsys):
+        self.assert_clean_error(
+            capsys,
+            [
+                "run",
+                "--coupled",
+                "--request-rate",
+                "1",
+                "--autoscaler",
+                "threshold",
+                "--min-dp",
+                "4",
+                "--max-dp",
+                "2",
+            ],
+            "min_dp (4) must be <= max_dp (2)",
+        )
+
+    def test_autoscaler_without_coupled_is_clean_error(self, capsys):
+        self.assert_clean_error(
+            capsys,
+            ["run", "--request-rate", "1", "--autoscaler", "threshold"],
+            "needs the event-coupled path",
+        )
+
+    def test_reproduce_lists_autoscale(self, capsys):
+        rc = main(["reproduce", "definitely-not-an-artifact"])
+        assert rc == 2
+        assert "autoscale" in capsys.readouterr().err
+
+    def test_dp_bounds_without_autoscaler_is_clean_error(self, capsys):
+        self.assert_clean_error(
+            capsys,
+            ["run", "--coupled", "--request-rate", "1", "--min-dp", "2"],
+            "only apply with an autoscaler",
+        )

@@ -333,3 +333,57 @@ class TestErlangC:
         assert pred.queue_wait_mean_s == pytest.approx(expected)
         # Strictly below the pooled-M/M/1 wait the seed model reported.
         assert pred.queue_wait_mean_s < (5.0 / 8.0) / (8.0 - 5.0)
+
+
+class TestContextGrowthAwareTpot:
+    """The analytic TPOT must track measured inter-token time at high
+    batch: mean context grows over a request's decode, so the iteration
+    estimate averages the in -> in+out trajectory (overhead included)
+    instead of evaluating one fixed context."""
+
+    def test_analytic_tpot_gap_bounded_on_high_batch_config(
+        self, tiny_model, cluster_a10_4
+    ):
+        from repro.parallel.config import parse_config
+        from repro.workloads.synthetic import constant_workload
+
+        cfg = parse_config("T2")
+        n, prompt, output = 64, 256, 96  # one 64-deep decode batch
+        measured = (
+            VllmLikeEngine(tiny_model, cluster_a10_4, cfg)
+            .run(constant_workload(n, prompt, output))
+            .latency.tpot.mean
+        )
+        rates = predict_request_rate(
+            tiny_model, cluster_a10_4, cfg, cfg, prompt, output, concurrency=n
+        )
+        assert rates.tpot_s is not None
+        new_gap = abs(rates.tpot_s - measured) / measured
+        # The first-order quotient (batch / decode rate, no overhead, one
+        # mid-point context) under-predicts; the growth-aware estimate
+        # must be strictly closer and within a tight bound.
+        old_estimate = rates.max_batch_size / rates.decode_tokens_per_s
+        old_gap = abs(old_estimate - measured) / measured
+        assert new_gap < old_gap
+        assert new_gap < 0.05
+
+    def test_objective_consumes_growth_aware_tpot(
+        self, tiny_model, cluster_a10_4
+    ):
+        from dataclasses import replace
+
+        from repro.parallel.config import parse_config
+
+        cfg = parse_config("T2")
+        rates = predict_request_rate(
+            tiny_model, cluster_a10_4, cfg, cfg, 256.0, 96.0
+        )
+        objective = ServingObjective(kind="slo", request_rate=0.1)
+        pred = objective.predict(rates, 256.0, 96.0)
+        assert pred.tpot_s == rates.tpot_s
+        # Without the field the objective falls back to the old quotient.
+        legacy = replace(rates, tpot_s=None)
+        fallback = objective.predict(legacy, 256.0, 96.0)
+        assert fallback.tpot_s == pytest.approx(
+            rates.max_batch_size / rates.decode_tokens_per_s
+        )
