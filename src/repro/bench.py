@@ -1,0 +1,326 @@
+"""Perf-trajectory harness: timed reference cells with committed baselines.
+
+``repro bench`` times a fixed set of reference cells — one per hot path
+the simulator grew (offline engine loop, event-coupled dispatch,
+autoscaled fleets, the fluid fast path) — and reports wall time, work
+rate (iterations or requests per second) and peak RSS for each. The
+committed baselines under ``benchmarks/perf/BENCH_<cell>.json`` are the
+repo's perf trajectory: ``--check`` fails when a cell regresses more
+than :data:`REGRESSION_TOLERANCE` against its baseline, and ``--update``
+rewrites the baselines after a deliberate perf change.
+
+Wall clocks are not portable across machines, so every run also times a
+fixed pure-Python/numpy calibration spin and normalizes the measured
+wall by the spin-time ratio before comparing: a machine twice as slow as
+the baseline recorder gets twice the budget. The spin is deliberately a
+mix of interpreter-bound and numpy-bound work — the same mix the
+simulator's hot loops have.
+
+Setup (workload synthesis, engine construction) happens outside the
+timed region; only the simulation itself is measured.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.engines.base import EngineOptions
+from repro.engines.vllm_like import VllmLikeEngine
+from repro.hardware.cluster import make_cluster
+from repro.models.registry import get_model
+from repro.parallel.config import ParallelConfig
+from repro.workloads.arrivals import diurnal_arrivals, poisson_arrivals
+from repro.workloads.datasets import sharegpt_workload
+
+# A cell fails --check when its normalized wall exceeds baseline x this.
+REGRESSION_TOLERANCE = 1.25
+
+_BASELINE_PREFIX = "BENCH_"
+
+
+def default_baseline_dir() -> Path:
+    """``benchmarks/perf/`` next to the source tree (the committed
+    trajectory), falling back to the working directory for installs
+    that carry no repo checkout."""
+    repo = Path(__file__).resolve().parents[2]
+    candidate = repo / "benchmarks" / "perf"
+    if candidate.is_dir():
+        return candidate
+    return Path.cwd() / "benchmarks" / "perf"
+
+
+def calibration_spin() -> float:
+    """Seconds for a fixed interpreter+numpy workload (machine speed)."""
+    t0 = time.perf_counter()
+    acc = 0
+    for i in range(1_500_000):
+        acc += i ^ (i >> 3)
+    a = np.arange(100_000, dtype=np.int64)
+    for _ in range(40):
+        acc += int((a * 3 + 1).sum())
+    if acc < 0:  # pragma: no cover - keeps the loop un-eliminable
+        raise AssertionError
+    return time.perf_counter() - t0
+
+
+# --------------------------------------------------------------------- #
+# Reference cells
+# --------------------------------------------------------------------- #
+
+
+def _cell_offline_static(scale: float):
+    """Offline engine inner loop: no arrivals, decoupled static deal."""
+    n = max(16, int(2000 * scale))
+    wl = sharegpt_workload(num_requests=n, seed=7)
+    eng = VllmLikeEngine(
+        get_model("15b"),
+        make_cluster("A10", 8),
+        ParallelConfig(dp=4, tp=2, pp=1),
+        EngineOptions(router="static"),
+    )
+    return lambda: eng.run(wl), "iterations"
+
+
+def _cell_coupled_jsq(scale: float):
+    """Event-coupled JSQ dispatch on the shared clock (the reference
+    cell of the event-path speedup criterion)."""
+    n = max(16, int(2000 * scale))
+    wl = poisson_arrivals(sharegpt_workload(num_requests=n, seed=7), rate_rps=8.0, seed=7)
+    eng = VllmLikeEngine(
+        get_model("15b"),
+        make_cluster("A10", 8),
+        ParallelConfig(dp=4, tp=2, pp=1),
+        EngineOptions(router="jsq", coupled=True),
+    )
+    return lambda: eng.run(wl), "iterations"
+
+
+def _cell_autoscaled_diurnal(scale: float):
+    """Elastic threshold fleet under a diurnal day-shape."""
+    n = max(16, int(2000 * scale))
+    wl = diurnal_arrivals(
+        sharegpt_workload(num_requests=n, seed=11),
+        rate_rps=6.0,
+        period_s=240.0,
+        seed=11,
+    )
+    eng = VllmLikeEngine(
+        get_model("15b"),
+        make_cluster("A10", 8),
+        ParallelConfig(dp=4, tp=2, pp=1),
+        EngineOptions(
+            router="jsq", coupled=True, autoscaler="threshold", min_dp=1, max_dp=4
+        ),
+    )
+    return lambda: eng.run(wl), "iterations"
+
+
+def _cell_fluid_million(scale: float):
+    """A million-request diurnal day on a 200-replica fleet, solved by
+    the calibrated fluid fast path."""
+    n = max(1000, int(1_000_000 * scale))
+    wl = diurnal_arrivals(
+        sharegpt_workload(num_requests=n, seed=3),
+        rate_rps=140.0 * n / 1_000_000,
+        period_s=8640.0,
+        seed=3,
+    )
+    eng = VllmLikeEngine(
+        get_model("15b"),
+        make_cluster("A10", 400),
+        ParallelConfig(dp=200, tp=2, pp=1),
+        EngineOptions(
+            router="jsq",
+            coupled=True,
+            fidelity="fluid",
+            autoscaler="threshold",
+            min_dp=20,
+            max_dp=200,
+        ),
+    )
+    return lambda: eng.run(wl), "requests"
+
+
+CELLS: dict[str, Callable] = {
+    "offline_static": _cell_offline_static,
+    "coupled_jsq": _cell_coupled_jsq,
+    "autoscaled_diurnal": _cell_autoscaled_diurnal,
+    "fluid_million": _cell_fluid_million,
+}
+
+
+def run_cell(
+    name: str, scale: float = 1.0, profile_dir: Path | None = None
+) -> dict:
+    """Time one reference cell; returns the measurement record."""
+    runner, work_kind = CELLS[name](scale)
+    if profile_dir is not None:
+        import cProfile
+
+        prof = cProfile.Profile()
+        t0 = time.perf_counter()
+        result = prof.runcall(runner)
+        wall = time.perf_counter() - t0
+        profile_dir.mkdir(parents=True, exist_ok=True)
+        prof.dump_stats(profile_dir / f"{name}.prof")
+    else:
+        t0 = time.perf_counter()
+        result = runner()
+        wall = time.perf_counter() - t0
+    if work_kind == "iterations":
+        work = result.iterations
+    else:
+        work = result.latency.num_requests if result.latency is not None else 0
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    return {
+        "cell": name,
+        "wall_s": round(wall, 4),
+        "work_kind": work_kind,
+        "work_items": int(work),
+        "work_rate": round(work / wall, 1) if wall > 0 else 0.0,
+        "peak_rss_mb": round(peak_rss_mb, 1),
+        "sim_seconds": round(result.total_time, 2),
+    }
+
+
+def baseline_path(directory: Path, cell: str) -> Path:
+    return directory / f"{_BASELINE_PREFIX}{cell}.json"
+
+
+def load_baseline(directory: Path, cell: str) -> dict | None:
+    path = baseline_path(directory, cell)
+    if not path.is_file():
+        return None
+    return json.loads(path.read_text())
+
+
+def check_measurement(measurement: dict, baseline: dict, calib_s: float) -> tuple[bool, str]:
+    """Normalized-regression verdict for one cell.
+
+    The measured wall is scaled by ``baseline_calib / current_calib`` so
+    a slower (or faster) machine is compared in the baseline recorder's
+    time units.
+    """
+    base_wall = float(baseline["wall_s"])
+    base_calib = float(baseline["calib_s"])
+    factor = base_calib / calib_s if calib_s > 0 else 1.0
+    norm_wall = measurement["wall_s"] * factor
+    budget = base_wall * REGRESSION_TOLERANCE
+    ok = norm_wall <= budget
+    detail = (
+        f"wall={measurement['wall_s']:.3f}s norm={norm_wall:.3f}s "
+        f"budget={budget:.3f}s (baseline {base_wall:.3f}s x {REGRESSION_TOLERANCE})"
+    )
+    return ok, detail
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    directory = Path(args.baseline_dir) if args.baseline_dir else default_baseline_dir()
+    names = args.cells or list(CELLS)
+    unknown = [n for n in names if n not in CELLS]
+    if unknown:
+        print(f"unknown cells: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(CELLS)}", file=sys.stderr)
+        return 2
+    profile_dir = Path(args.profile) if args.profile else None
+    calib = calibration_spin()
+    print(f"calibration spin: {calib:.3f}s")
+    failed = []
+    for name in names:
+        measurement = run_cell(name, scale=args.scale, profile_dir=profile_dir)
+        measurement["calib_s"] = round(calib, 4)
+        line = (
+            f"{name:20s} wall={measurement['wall_s']:8.3f}s "
+            f"{measurement['work_kind']}={measurement['work_items']} "
+            f"rate={measurement['work_rate']:.0f}/s "
+            f"rss={measurement['peak_rss_mb']:.0f}MB"
+        )
+        if args.update:
+            if args.scale != 1.0:
+                print("refusing to --update baselines at --scale != 1", file=sys.stderr)
+                return 2
+            directory.mkdir(parents=True, exist_ok=True)
+            baseline_path(directory, name).write_text(
+                json.dumps(measurement, indent=2, sort_keys=True) + "\n"
+            )
+            line += "  [baseline updated]"
+        elif args.check:
+            baseline = load_baseline(directory, name)
+            if baseline is None:
+                failed.append(name)
+                line += "  [FAIL: no baseline]"
+            elif args.scale != 1.0:
+                line += "  [check skipped: scaled cell]"
+            else:
+                ok, detail = check_measurement(measurement, baseline, calib)
+                line += f"  [{'ok' if ok else 'FAIL'}: {detail}]"
+                if not ok:
+                    failed.append(name)
+        print(line)
+        if args.json:
+            out = Path(args.json)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"{_BASELINE_PREFIX}{name}.json").write_text(
+                json.dumps(measurement, indent=2, sort_keys=True) + "\n"
+            )
+    if profile_dir is not None:
+        print(f"profiles written under {profile_dir}/")
+    if failed:
+        print(f"perf regression in: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def add_bench_parser(sub) -> None:
+    """Attach the ``bench`` subcommand to the CLI's subparsers."""
+    p = sub.add_parser("bench", help="time the perf reference cells")
+    p.add_argument(
+        "--cells",
+        nargs="*",
+        default=None,
+        metavar="CELL",
+        help=f"cells to run (default all: {' '.join(CELLS)})",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) when a cell regresses >25%% against its "
+        "committed baseline, normalized by the calibration spin",
+    )
+    p.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the committed baselines from this run",
+    )
+    p.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="shrink cells by this factor (smoke testing; disables --check)",
+    )
+    p.add_argument(
+        "--profile",
+        default=None,
+        metavar="DIR",
+        help="dump a cProfile .prof per cell into DIR",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="DIR",
+        help="also write each measurement as JSON into DIR (CI artifacts)",
+    )
+    p.add_argument(
+        "--baseline-dir",
+        default=None,
+        help="baseline directory (default: the repo's benchmarks/perf/)",
+    )
+    p.set_defaults(func=cmd_bench)

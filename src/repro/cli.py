@@ -118,6 +118,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "scale-downs drain (default none: fixed fleet)",
     )
     parser.add_argument(
+        "--fidelity",
+        choices=["event", "fluid", "auto"],
+        default="event",
+        help="coupled-simulation fidelity: event (default) replays every "
+        "iteration on the shared clock; fluid solves a calibrated "
+        "mean-field model per dispatch (~100x faster, p99-TTFT within "
+        "the calibrated tolerance, no preemption storms); auto picks "
+        "fluid above a work-volume threshold",
+    )
+    parser.add_argument(
         "--min-dp",
         type=int,
         default=None,
@@ -296,6 +306,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         ttft_slo=args.ttft_slo,
         tpot_slo=args.tpot_slo,
         coupled=args.coupled,
+        fidelity=args.fidelity,
         autoscaler=args.autoscaler,
         min_dp=args.min_dp,
         max_dp=args.max_dp,
@@ -313,6 +324,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             ttft_slo=args.ttft_slo,
             tpot_slo=args.tpot_slo,
             coupled=args.coupled,
+            fidelity=args.fidelity,
             autoscaler=args.autoscaler,
             min_dp=args.min_dp,
             max_dp=args.max_dp,
@@ -343,6 +355,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         router=args.router,
         router_seed=args.seed,
         coupled=args.coupled,
+        fidelity=args.fidelity,
         autoscaler=args.autoscaler,
         min_dp=args.min_dp,
         max_dp=args.max_dp,
@@ -429,6 +442,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         router=args.router,
         router_seed=args.seed,
         coupled=args.coupled,
+        fidelity=args.fidelity,
         **fleet_opts,
         **slo_opts,
     )
@@ -439,6 +453,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         router=args.router,
         router_seed=args.seed,
         coupled=args.coupled,
+        fidelity=args.fidelity,
         **fleet_opts,
         **slo_opts,
         arrival_rate=objective.arrival_rate_hint,
@@ -587,6 +602,10 @@ def build_parser() -> argparse.ArgumentParser:
         "coupled | autoscale",
     )
     p_repro.set_defaults(func=cmd_reproduce)
+
+    from repro.bench import add_bench_parser
+
+    add_bench_parser(sub)
 
     return parser
 

@@ -153,6 +153,11 @@ class ReplicaFleet:
         self.autoscaler_name = autoscaler_name
         self.weight_load_s, self.kv_warmup_s = provision_times(engine)
         self.handles: list[ReplicaHandle] = []
+        # Lifecycle worklists so the per-event poll/reap sweeps touch only
+        # replicas that can actually transition (id-ordered, like the
+        # full-handle scans they replace).
+        self._pending: list[ReplicaHandle] = []
+        self._draining: list[ReplicaHandle] = []
         self.events: list[FleetEvent] = []
         self.scale_ups = 0
         self.scale_downs = 0
@@ -220,6 +225,8 @@ class ReplicaFleet:
             ready = now + self.weight_load_s
             handle = ReplicaHandle(rid, now, ready, ready + self.kv_warmup_s)
         self.handles.append(handle)
+        if not prewarmed:
+            self._pending.append(handle)
         return handle
 
     def _activate(self, handle: ReplicaHandle) -> None:
@@ -229,10 +236,14 @@ class ReplicaFleet:
         )
         handle.load = ObservedLoad(handle.sim, self.context)
 
-    def poll(self, now: float) -> None:
+    def poll(self, now: float) -> list[ReplicaHandle]:
         """Commit every lifecycle transition due by ``now`` (the
-        membership events of the shared clock)."""
-        for h in self.handles:
+        membership events of the shared clock); returns the handles that
+        became active so the caller can schedule their first events."""
+        if not self._pending:
+            return []
+        activated: list[ReplicaHandle] = []
+        for h in self._pending:
             if (
                 h.state is ReplicaLifecycle.PROVISIONING
                 and h.weights_ready_at <= now + _EPS
@@ -243,10 +254,17 @@ class ReplicaFleet:
                 self.events.append(
                     FleetEvent(h.active_at, "active", h.replica_id, self.active_count)
                 )
+                activated.append(h)
+        if activated:
+            self._pending = [h for h in self._pending if h.state is not ReplicaLifecycle.ACTIVE]
+        return activated
 
     def reap_drained(self) -> None:
         """Stop draining replicas whose in-flight work has completed."""
-        for h in self.handles:
+        if not self._draining:
+            return
+        reaped = False
+        for h in sorted(self._draining, key=lambda h: h.replica_id):
             if h.state is not ReplicaLifecycle.DRAINING or h.sim is None:
                 continue
             if math.isinf(h.sim.next_event_time()):
@@ -256,9 +274,14 @@ class ReplicaFleet:
                 assert h.drain_started_at is not None
                 h.stopped_at = max(h.drain_started_at, h.sim.clock)
                 h.state = ReplicaLifecycle.STOPPED
+                reaped = True
                 self.events.append(
                     FleetEvent(h.stopped_at, "stopped", h.replica_id, self.active_count)
                 )
+        if reaped:
+            self._draining = [
+                h for h in self._draining if h.state is ReplicaLifecycle.DRAINING
+            ]
 
     def scale_up(self, now: float, n: int) -> int:
         """Provision ``n`` new replicas (bounded by ``max_dp``); returns
@@ -295,6 +318,7 @@ class ReplicaFleet:
             )
             victim.state = ReplicaLifecycle.DRAINING
             victim.drain_started_at = now
+            self._draining.append(victim)
             self.scale_downs += 1
             drained += 1
             self.events.append(

@@ -25,7 +25,7 @@ without modification.
 from __future__ import annotations
 
 import math
-from itertools import chain
+from bisect import bisect_right
 from typing import TYPE_CHECKING
 
 from repro.routing.load import RouterContext, _duration
@@ -66,6 +66,14 @@ class ReplicaSim:
         self.preemption_snapshot = 0
         self.peak_queued_prefill_tokens = 0.0
         self.redispatched_in = 0
+        # Queued-prefill cache, keyed on the state's prefill epoch: the
+        # unstarted-prompt token sum plus the completed-but-in-flight
+        # prefills as (end_time, suffix-token-sum) arrays, so a dispatch
+        # probe is a bisect instead of a walk over every live sequence.
+        self._agg_epoch = -1
+        self._agg_unstarted = 0
+        self._agg_ends: list[float] = []
+        self._agg_suffix: list[int] = [0]
 
     # ------------------------------------------------------------------ #
     # Event interface
@@ -141,23 +149,58 @@ class ReplicaSim:
         router cannot see inside a forward pass).
         """
         now = self.clock if now is None else now
+        self._refresh_prefill_cache()
+        idx = bisect_right(self._agg_ends, now + _EPS)
+        return float(self._agg_unstarted + self._agg_suffix[idx])
+
+    def _refresh_prefill_cache(self) -> None:
+        """Rebuild the queued-prefill aggregates when the replica's prefill
+        epoch moved (queue membership, prefill progress or running-set
+        churn since the last probe); pure decode iterations leave the
+        epoch alone, so steady-state probes cost one bisect."""
         state = self.run.state
-        total = self.unstarted_prefill_tokens()
+        if state.prefill_epoch == self._agg_epoch:
+            return
+        self._agg_epoch = state.prefill_epoch
+        # Unstarted work is only what sits in the queues: a sequence whose
+        # prefill was rebuilt after a recompute preemption keeps a target
+        # above its prompt length (it reads as never-complete), but once
+        # running again it owes the dispatcher nothing.
+        # Inlined Sequence property bodies: this rebuild runs once per
+        # (epoch bump x probe) and the attribute reads dominate it.
+        unstarted = 0
+        for s in state.pending:
+            left = s.prefill_target - s.prefilled_tokens
+            if left > 0:
+                unstarted += left
+        for s in state.waiting:
+            left = s.prefill_target - s.prefilled_tokens
+            if left > 0:
+                unstarted += left
+        self._agg_unstarted = unstarted
+        pairs = []
         for s in state.live_sequences():
-            if s.is_prefill_complete and s.prefill_end_time > now + _EPS:
-                total += s.prefill_target
-        return float(total)
+            if s.prefilled_tokens >= s.prefill_target:
+                end = s.prefill_end_time
+                if end == end:  # NaN = never scheduled with a known end
+                    pairs.append((end, s.prefill_target))
+        pairs.sort()
+        ends = [p[0] for p in pairs]
+        suffix = [0] * (len(pairs) + 1)
+        for i in range(len(pairs) - 1, -1, -1):
+            suffix[i] = suffix[i + 1] + pairs[i][1]
+        self._agg_ends = ends
+        self._agg_suffix = suffix
 
     def unstarted_prefill_tokens(self) -> int:
         """Prompt tokens the scheduler has not pulled into any pass yet."""
-        state = self.run.state
-        return sum(
-            s.remaining_prefill for s in chain(state.pending, state.waiting)
-        )
+        self._refresh_prefill_cache()
+        return self._agg_unstarted
 
     def decode_backlog_tokens(self) -> float:
-        """Output tokens still to decode across every live sequence."""
-        return float(sum(s.remaining_decode for s in self.run.state.live_sequences()))
+        """Output tokens still to decode across every live sequence (an
+        exact counter the engine loops maintain incrementally)."""
+        return float(self.run.state.decode_backlog)
 
     def outstanding_tokens(self, now: float | None = None) -> float:
         """Unprefilled prompt plus undecoded output tokens (least-work)."""

@@ -35,11 +35,12 @@ from __future__ import annotations
 
 from typing import Sequence as TypingSequence, TYPE_CHECKING
 
+import heapq
 import math
 
 from repro.cluster.autoscaler import make_autoscaler
 from repro.cluster.fleet import ReplicaFleet
-from repro.cluster.replica import ReplicaSim
+from repro.cluster.replica import _EPS, ReplicaSim
 from repro.errors import ConfigurationError, SimulationError
 from repro.routing.load import _duration
 from repro.routing.policies import DEFAULT_STORM_PREEMPTIONS
@@ -60,6 +61,7 @@ class ClusterSimulator:
         engine: "BaseEngine",
         requests: TypingSequence[Request],
         storm_preemptions: int = DEFAULT_STORM_PREEMPTIONS,
+        use_heap: bool = True,
     ) -> None:
         self.engine = engine
         self.requests = list(requests)
@@ -91,22 +93,31 @@ class ClusterSimulator:
             self.autoscaler = None
         else:
             context = self.policy.context
+            avg_in, avg_out = _workload_averages(self.requests)
             self.autoscaler = make_autoscaler(
                 options.autoscaler,
                 self.fleet.min_dp,
                 self.fleet.max_dp,
                 up_queue_tokens=float(options.max_batched_tokens),
-                capacity_rps_per_replica=_capacity_rps(context, self.requests),
-                prefill_latency_s=_mean_prefill_latency(context, self.requests),
+                capacity_rps_per_replica=_capacity_rps_from(context, avg_in, avg_out),
+                prefill_latency_s=_prefill_latency_from(context, avg_in),
                 ttft_slo=options.ttft_slo,
             )
         self.storm_preemptions = storm_preemptions
         self.redispatched_requests = 0
         self.redispatches = 0
+        # Lazy event heap over (next_event_time, replica_id, serial): the
+        # newest serial per replica wins, older entries are dropped on
+        # pop. ``use_heap=False`` keeps the pre-refactor linear scan over
+        # every live replica per arrival (the equivalence oracle).
+        self.use_heap = use_heap
+        self._heap: list[tuple[float, int, int]] = []
+        self._serial: dict[int, int] = {}
         # Per-dispatch decision log: (request_id, replica, observed queued
         # prefill tokens per *dispatchable* replica at the decision
-        # instant). Consumed by tests and debugging; cheap at simulation
-        # scale.
+        # instant). Opt-in via EngineOptions.debug_dispatch_log — it grows
+        # O(requests x replicas), which million-request runs cannot afford.
+        self.debug_dispatch_log = options.debug_dispatch_log
         self.dispatch_log: list[tuple[int, int, tuple[float, ...]]] = []
 
     @property
@@ -119,6 +130,40 @@ class ClusterSimulator:
         return len(self.fleet.handles)
 
     # ------------------------------------------------------------------ #
+    # Event heap
+    # ------------------------------------------------------------------ #
+
+    def _push(self, sim: ReplicaSim) -> None:
+        """(Re-)schedule a replica: bump its serial (invalidating every
+        older heap entry) and push its next event time if finite."""
+        rid = sim.replica_id
+        serial = self._serial.get(rid, 0) + 1
+        self._serial[rid] = serial
+        t = sim.next_event_time()
+        if not math.isinf(t):
+            heapq.heappush(self._heap, (t, rid, serial))
+
+    def _advance_heap(self, now: float, stepped: set[int]) -> None:
+        """Pop and execute every replica event that precedes ``now``."""
+        heap = self._heap
+        serials = self._serial
+        handles = self.fleet.handles
+        while heap:
+            t, rid, serial = heap[0]
+            if t + _EPS >= now:
+                return
+            heapq.heappop(heap)
+            if serial != serials.get(rid):
+                continue  # superseded by a later push
+            handle = handles[rid]
+            sim = handle.sim
+            if sim is None or not handle.live:
+                continue
+            sim.advance(now)
+            stepped.add(rid)
+            self._push(sim)
+
+    # ------------------------------------------------------------------ #
 
     def run(self) -> EngineResult:
         """Co-simulate to completion; returns the merged cluster result."""
@@ -127,26 +172,46 @@ class ClusterSimulator:
         trace_armed = self.engine.options.trace
         traced_sim: ReplicaSim | None = None
         fleet = self.fleet
+        use_heap = self.use_heap
         last_now = -1.0
+        # Replicas that executed events since the last snapshot refresh —
+        # every other replica's preemption counter is unchanged, so
+        # re-snapshotting it would be a no-op.
+        stepped: set[int] = set()
+        if use_heap:
+            for sim in fleet.live_sims():
+                self._push(sim)
 
         for i in order:
             req = reqs[i]
             now = req.arrival_time
             # Commit membership events due by this instant (replicas whose
             # provisioning/warming finished join the dispatchable set).
-            fleet.poll(now)
+            for handle in fleet.poll(now):
+                if use_heap and handle.sim is not None:
+                    self._push(handle.sim)
             if now > last_now:
                 # Stepping to a new instant: refresh the recency window so
                 # only preemptions committed by *this* advance read as
                 # "just happened" (the decaying slo penalty).
-                for sim in fleet.live_sims():
-                    sim.preemption_snapshot = sim.observed_preemptions()
+                if use_heap:
+                    for rid in stepped:
+                        sim = fleet.handles[rid].sim
+                        if sim is not None:
+                            sim.preemption_snapshot = sim.observed_preemptions()
+                    stepped.clear()
+                else:
+                    for sim in fleet.live_sims():
+                        sim.preemption_snapshot = sim.observed_preemptions()
                 last_now = now
             # Pop every replica event (iteration boundary or idle jump)
             # that precedes this arrival — draining replicas keep working
             # through their in-flight backlog too.
-            for sim in fleet.live_sims():
-                sim.advance(now)
+            if use_heap:
+                self._advance_heap(now, stepped)
+            else:
+                for sim in fleet.live_sims():
+                    sim.advance(now)
             fleet.reap_drained()
             if self.autoscaler is not None:
                 self.autoscaler.note_arrival(now)
@@ -157,7 +222,11 @@ class ClusterSimulator:
             if not loads:
                 raise SimulationError("fleet has no dispatchable replica")
             self.policy.loads = loads
-            queues = tuple(load.queued_prefill_tokens(now) for load in loads)
+            queues = (
+                tuple(load.queued_prefill_tokens(now) for load in loads)
+                if self.debug_dispatch_log
+                else None
+            )
             rid = self.policy.select(req, i, now)
             handle = fleet.handle(rid)
             if not handle.dispatchable or handle.sim is None:
@@ -173,7 +242,10 @@ class ClusterSimulator:
                 trace_armed = False
             sim.inject(req)
             sim.note_queue_depth(now)
-            self.dispatch_log.append((req.request_id, rid, queues))
+            if use_heap:
+                self._push(sim)
+            if queues is not None:
+                self.dispatch_log.append((req.request_id, rid, queues))
             if self.policy.rebalance_on_storm and len(loads) > 1:
                 moved = self._redispatch_storms(now)
                 if moved:
@@ -233,6 +305,12 @@ class ClusterSimulator:
         calm = [sim for sim in sims if sim not in storming]
         if not calm:
             return 0
+        # Rank the calm pool once; every inject adds the request's token
+        # footprint to the target's total (token counts are integers well
+        # below 2**53, so the running float totals are exact and match a
+        # recomputed outstanding_tokens bit-for-bit).
+        candidates = [(s.outstanding_tokens(now), s.replica_id, s) for s in calm]
+        heapq.heapify(candidates)
         moved = 0
         for src in storming:
             stolen = src.steal_pending()
@@ -242,14 +320,20 @@ class ClusterSimulator:
             src.preemption_mark = src.observed_preemptions()
             if not stolen:
                 continue
+            if self.use_heap:
+                self._push(src)
             for req in stolen:
-                target = min(
-                    calm, key=lambda s: (s.outstanding_tokens(now), s.replica_id)
-                )
+                total, rid, target = heapq.heappop(candidates)
                 target.inject(req)
                 target.note_queue_depth(now)
                 target.redispatched_in += 1
                 moved += 1
+                if self.use_heap:
+                    self._push(target)
+                heapq.heappush(
+                    candidates,
+                    (total + float(req.prompt_len + req.output_len - 1), rid, target),
+                )
         return moved
 
     # ------------------------------------------------------------------ #
@@ -293,16 +377,18 @@ class ClusterSimulator:
 
 
 def _workload_averages(requests: list[Request]) -> tuple[float, float]:
+    in_tokens = 0
+    out_tokens = 0
+    for r in requests:
+        in_tokens += r.prompt_len
+        out_tokens += r.output_len
     n = len(requests)
-    avg_in = sum(r.prompt_len for r in requests) / n
-    avg_out = sum(r.output_len for r in requests) / n
-    return avg_in, avg_out
+    return in_tokens / n, out_tokens / n
 
 
-def _capacity_rps(context, requests: list[Request]) -> float:
+def _capacity_rps_from(context, avg_in: float, avg_out: float) -> float:
     """Analytic per-replica request capacity from the router context's
     service rates (the predictive autoscaler's ``mu1``)."""
-    avg_in, avg_out = _workload_averages(requests)
     seconds = _duration(avg_in, context.prefill_tokens_per_s)
     seconds += _duration(max(0.0, avg_out - 1.0), context.decode_tokens_per_s)
     if seconds <= 0 or not math.isfinite(seconds):
@@ -310,7 +396,16 @@ def _capacity_rps(context, requests: list[Request]) -> float:
     return 1.0 / seconds
 
 
-def _mean_prefill_latency(context, requests: list[Request]) -> float:
-    avg_in, _ = _workload_averages(requests)
+def _prefill_latency_from(context, avg_in: float) -> float:
     latency = _duration(avg_in, context.prefill_tokens_per_s)
     return latency if math.isfinite(latency) else 0.0
+
+
+def _capacity_rps(context, requests: list[Request]) -> float:
+    avg_in, avg_out = _workload_averages(requests)
+    return _capacity_rps_from(context, avg_in, avg_out)
+
+
+def _mean_prefill_latency(context, requests: list[Request]) -> float:
+    avg_in, _ = _workload_averages(requests)
+    return _prefill_latency_from(context, avg_in)

@@ -309,7 +309,7 @@ class SeesawEngine(BaseEngine):
                     # pool is still available to absorb overflow via
                     # preemption). This recovers plain continuous batching.
                     seq.state = SequenceState.RUNNING
-                    state.running.append(seq)
+                    state.start_running(seq)
                     continue
                 state.kv.free(seq.seq_id)
                 parked = seq.prefill_target
@@ -369,6 +369,8 @@ class SeesawEngine(BaseEngine):
             cpu_pending += seq.prefill_target
             if used >= opts.max_batched_tokens:
                 break
+        if microbatch:
+            state.prefill_epoch += 1
         return microbatch
 
     # ------------------------------------------------------------------ #
@@ -392,7 +394,7 @@ class SeesawEngine(BaseEngine):
             now = self._launch_prefetches(state, costs, metrics, now)
             for seq in state.arrived_inflight(now):
                 seq.state = SequenceState.RUNNING
-                state.running.append(seq)
+                state.start_running(seq)
             state.finish_ready(now)
 
             if not state.running:
@@ -472,6 +474,8 @@ class SeesawEngine(BaseEngine):
         (it rejoins FIFO later); recompute is the fallback if the pool is
         full."""
         assert isinstance(state, SeesawState)
+        state.drop_slots()
+        state.prefill_epoch += 1
         tokens = victim.context_len
         state.kv.free(victim.seq_id)
         state.running.remove(victim)
@@ -536,7 +540,7 @@ class SeesawEngine(BaseEngine):
                 seq.state = SequenceState.RUNNING
                 seq.prefill_end_time = now
                 seq.mark_first_token(now)
-                state.running.append(seq)
+                state.start_running(seq)
             state.finish_ready(now)
             now, run.current = self._reshard(
                 now, run.current, cd, costs_d, metrics, state

@@ -42,16 +42,23 @@ class Breakdown:
 
     def __add__(self, other: "Breakdown") -> "Breakdown":
         return Breakdown(
-            **{
-                f.name: getattr(self, f.name) + getattr(other, f.name)
-                for f in fields(self)
-            }
+            linear_dm=self.linear_dm + other.linear_dm,
+            linear_comp=self.linear_comp + other.linear_comp,
+            attn_dm=self.attn_dm + other.attn_dm,
+            attn_comp=self.attn_comp + other.attn_comp,
+            comm=self.comm + other.comm,
+            overhead=self.overhead + other.overhead,
         )
 
     def scale(self, k: float) -> "Breakdown":
         """Multiply every component by ``k`` (e.g. layer count)."""
         return Breakdown(
-            **{f.name: getattr(self, f.name) * k for f in fields(self)}
+            linear_dm=self.linear_dm * k,
+            linear_comp=self.linear_comp * k,
+            attn_dm=self.attn_dm * k,
+            attn_comp=self.attn_comp * k,
+            comm=self.comm * k,
+            overhead=self.overhead * k,
         )
 
     def attributed(self) -> dict[str, float]:

@@ -122,6 +122,46 @@ class StepCostModel:
         )
         return self._stage(per_layer, num_seqs)
 
+    def _decode_consts(self) -> tuple:
+        """Per-config constants of the decode roofline, hoisted out of the
+        per-iteration path. Keyed on (tp, pp) so a mutated config cannot
+        serve stale numbers."""
+        key = (self.config.tp, self.config.pp)
+        cached = getattr(self, "_decode_cache", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        tp, pp = key
+        gpu = self.cluster.gpu
+        fabric = self.cluster.fabric
+        model = self.model
+        bw = gpu.effective_bandwidth
+        flops = gpu.effective_flops
+        lps = self.layers_per_stage
+        period = steady_state_period(1.0, pp)
+        # Constant components get their layer and period scaling folded in;
+        # token-dependent ones keep the reference expression's exact
+        # floating-point operation order and scale at call time.
+        linear_dm = (((model.layer_weight_bytes / tp) / bw) * lps) * period
+        overhead = (gpu.kernel_overhead * lps) * period
+        lin_flops = model.linear_flops_per_token_per_layer()
+        attn_eff = flops * ATTN_COMPUTE_EFFICIENCY
+        c4 = (4.0 * model.num_heads) * model.head_dim
+        kv_int = 2 * model.num_kv_heads * model.head_dim * model.dtype_bytes
+        act_bytes = model.activation_bytes_per_token()
+        if tp > 1:
+            ar_fixed = (2 * (tp - 1)) * fabric.latency
+            ar_factor = (2.0 * (tp - 1)) / tp
+            ar_bw = fabric.collective_bandwidth(tp)
+        else:
+            ar_fixed = ar_factor = ar_bw = 0.0
+        consts = (
+            tp, pp, lps, period, bw, flops, attn_eff, linear_dm, overhead,
+            lin_flops, c4, kv_int, act_bytes, ar_fixed, ar_factor, ar_bw,
+            fabric.latency, fabric.effective_link_bandwidth,
+        )
+        self._decode_cache = (key, consts)
+        return consts
+
     def decode_iteration_time(self, num_seqs: int, context_tokens: int) -> Breakdown:
         """Advance every sequence of one DP replica by one token.
 
@@ -129,7 +169,46 @@ class StepCostModel:
         (paper Section 3.1); in steady state the iteration takes PP stage
         periods, so each device re-streams its weights once per micro-batch
         — the weight-transfer amplification that makes PP slow at decode.
+
+        Hot path of every decode-heavy engine loop: computes the same
+        numbers as ``decode_stage_time(...).scale(steady_state_period)``
+        bit-exactly (pinned by a test) but from precomputed constants,
+        skipping the intermediate Breakdown objects.
         """
+        if num_seqs <= 0:
+            return Breakdown()
+        (
+            tp, pp, lps, period, bw, flops, attn_eff, linear_dm, overhead,
+            lin_flops, c4, kv_int, act_bytes, ar_fixed, ar_factor, ar_bw,
+            p2p_lat, link_bw,
+        ) = self._decode_consts()
+        m = -(-num_seqs // pp)
+        ctx = -(-context_tokens // pp)
+        linear_comp = (lin_flops * m / tp / flops * lps) * period
+        attn_dm = (float(kv_int * ctx) / tp / bw * lps) * period
+        attn_comp = (c4 * ctx / tp / attn_eff * lps) * period
+        comm = 0.0
+        if tp > 1:
+            act = m * act_bytes
+            comm = 2 * (ar_fixed + (ar_factor * act) / ar_bw) * lps
+        if pp > 1:
+            comm = (comm + (p2p_lat + (m * act_bytes) / link_bw)) * period
+        else:
+            comm = comm * period
+        return Breakdown(
+            linear_dm=linear_dm,
+            linear_comp=linear_comp,
+            attn_dm=attn_dm,
+            attn_comp=attn_comp,
+            comm=comm,
+            overhead=overhead,
+        )
+
+    def decode_iteration_time_reference(
+        self, num_seqs: int, context_tokens: int
+    ) -> Breakdown:
+        """The layer-composed reference the fast path must match bit-exactly
+        (kept as the oracle for the equivalence test)."""
         if num_seqs <= 0:
             return Breakdown()
         pp = self.config.pp

@@ -24,6 +24,8 @@ from repro.hardware.cluster import ClusterSpec
 from repro.models.config import ModelConfig
 from repro.parallel.config import ParallelConfig
 from repro.parallel.memory import kv_capacity_tokens
+from repro.engines.slots import DecodeSlots, VECTORIZE_MIN_SEQS
+from repro.engines.slots import np as _np
 from repro.routing import ROUTER_POLICIES, Router, RouterContext, make_router
 from repro.runtime.kvcache import KVCacheManager
 from repro.runtime.latency import LatencyStats
@@ -93,6 +95,19 @@ class EngineOptions:
     autoscaler: str = "none"
     min_dp: int | None = None
     max_dp: int | None = None
+    # Fidelity tier of the coupled path: "event" co-simulates every engine
+    # iteration; "fluid" replaces replicas with calibrated mean-field
+    # queues (repro.cluster.fluid) for million-request scale; "auto"
+    # picks fluid when requests x replica ceiling crosses
+    # AUTO_FLUID_WORK_ITEMS. Decoupled runs ignore this knob.
+    fidelity: str = "event"
+    # Vectorized decode bookkeeping (numpy slot arrays). The scalar path
+    # is kept for traced runs and as the bit-exactness oracle.
+    vectorize: bool = True
+    # Record ClusterSimulator.dispatch_log (one tuple of per-replica
+    # queue depths per arrival — O(requests x replicas) memory). Off by
+    # default; tests that consume the log opt in.
+    debug_dispatch_log: bool = False
 
     def __post_init__(self) -> None:
         if self.max_num_seqs < 1 or self.max_batched_tokens < 1 or self.chunk_size < 1:
@@ -115,6 +130,15 @@ class EngineOptions:
             raise ConfigurationError(
                 "autoscaling needs the event-coupled path: pass coupled=True "
                 "(--coupled) with --autoscaler"
+            )
+        if self.fidelity not in ("event", "fluid", "auto"):
+            raise ConfigurationError(
+                f"unknown fidelity {self.fidelity!r}; one of ('event', 'fluid', 'auto')"
+            )
+        if self.fidelity != "event" and not self.coupled:
+            raise ConfigurationError(
+                "the fluid fast path models the coupled cluster: pass "
+                "coupled=True (--coupled) with --fidelity fluid/auto"
             )
         for name, dp in (("min_dp", self.min_dp), ("max_dp", self.max_dp)):
             if dp is not None and dp < 1:
@@ -179,6 +203,19 @@ class ReplicaState:
         self.running: list[Sequence] = []
         self.finished: list[Sequence] = []
         self.kv = kv
+        # Incremental observed-load aggregates. ``decode_backlog`` is the
+        # exact integer sum of remaining_decode over live sequences,
+        # maintained at every site that adds/removes owned sequences or
+        # advances decode. ``prefill_epoch`` is a dirty counter bumped by
+        # every mutation that can change the queued-prefill aggregates
+        # (queue membership, prefill progress, running membership) — pure
+        # decode iterations deliberately do NOT bump it, which is what
+        # makes per-arrival dispatch decisions O(log S) instead of O(S).
+        self.decode_backlog = sum(max(0, r.output_len - 1) for r in requests)
+        self.prefill_epoch = 0
+        # Vectorized decode slot arrays (engines/slots.py); None = the
+        # object lists are authoritative.
+        self.slots = None
         self.admit_arrivals(0.0)
 
     def admit_arrivals(self, now: float) -> int:
@@ -227,9 +264,33 @@ class ReplicaState:
         """Total cached tokens attended over by one decode iteration."""
         return sum(s.context_len for s in self.running)
 
+    def start_running(self, seq: Sequence) -> None:
+        """Append ``seq`` to the running batch.
+
+        The single choke point through which sequences enter ``running``:
+        it drops the vectorized slot arrays back to the object lists and
+        marks the prefill aggregates dirty, so engine loops stay oblivious
+        to both caches.
+        """
+        self.drop_slots()
+        self.prefill_epoch += 1
+        self.running.append(seq)
+
+    def drop_slots(self) -> None:
+        """Invalidate the vectorized decode arrays (syncing any drifted
+        per-sequence counters back into the Sequence objects first)."""
+        if self.slots is not None:
+            self.slots.sync()
+            self.slots = None
+
     def finish_ready(self, now: float) -> int:
         """Retire sequences that have produced all their tokens."""
+        if self.slots is not None:
+            return self.slots.finish_ready(self, now)
         done = [s for s in self.running if s.remaining_decode == 0]
+        if not done:
+            return 0
+        self.prefill_epoch += 1
         for s in done:
             s.mark_finished(now)
             self.kv.free(s.seq_id)
@@ -276,6 +337,8 @@ class ReplicaRun:
         seq = Sequence(request)
         self.requests.append(request)
         self.total_request_tokens += request.prompt_len + request.output_len
+        self.state.decode_backlog += max(0, request.output_len - 1)
+        self.state.prefill_epoch += 1
         pending = self.state.pending
         idx = len(pending)
         while idx > 0 and pending[idx - 1].arrival_time > request.arrival_time + 1e-12:
@@ -292,6 +355,10 @@ class ReplicaRun:
         stolen = [seq.request for seq in self.state.pending]
         if stolen:
             self.state.pending.clear()
+            self.state.decode_backlog -= sum(
+                max(0, r.output_len - 1) for r in stolen
+            )
+            self.state.prefill_epoch += 1
             ids = {r.request_id for r in stolen}
             self.requests = [r for r in self.requests if r.request_id not in ids]
             self.total_request_tokens -= sum(
@@ -355,6 +422,20 @@ class BaseEngine(abc.ABC):
         if not requests:
             raise ConfigurationError("cannot run an empty workload")
         if self.options.coupled:
+            fidelity = self.options.fidelity
+            if fidelity == "auto":
+                from repro.cluster.fluid import AUTO_FLUID_WORK_ITEMS
+
+                cap = self.options.max_dp or self.config.dp
+                fidelity = (
+                    "fluid"
+                    if len(requests) * cap >= AUTO_FLUID_WORK_ITEMS
+                    else "event"
+                )
+            if fidelity == "fluid":
+                from repro.cluster.fluid import FluidSimulator
+
+                return FluidSimulator(self, requests).run()
             from repro.cluster.simulator import ClusterSimulator
 
             return ClusterSimulator(self, requests).run()
@@ -433,8 +514,17 @@ class BaseEngine(abc.ABC):
 
     @property
     def replica_config(self) -> ParallelConfig:
-        """This engine's config with DP stripped (one replica's view)."""
-        return replace(self.config, dp=1)
+        """This engine's config with DP stripped (one replica's view).
+
+        Cached: ``ParallelConfig`` is frozen and ``self.config`` never
+        changes after construction, but hot loops (PP hysteresis, KV
+        checks) query this per iteration and ``dataclasses.replace`` is
+        expensive enough to show up in profiles.
+        """
+        cached = getattr(self, "_replica_config", None)
+        if cached is None:
+            cached = self._replica_config = replace(self.config, dp=1)
+        return cached
 
     def record_event(self, kind: str, start: float, duration: float, **kw: int) -> None:
         """Append a trace event (no-op unless tracing is enabled)."""
@@ -600,24 +690,48 @@ class BaseEngine(abc.ABC):
         """
         if not state.running:
             raise ConfigurationError("decode_step with no running sequences")
-        bd = costs.decode_iteration_time(
-            len(state.running), state.decode_context_tokens
-        )
+        num_seqs = len(state.running)
+        slots = state.slots
+        if (
+            slots is None
+            and _np is not None
+            and num_seqs >= VECTORIZE_MIN_SEQS
+            and self.options.vectorize
+            and not self.options.trace
+        ):
+            slots = state.slots = DecodeSlots(state)
+        if slots is not None:
+            bd = costs.decode_iteration_time(num_seqs, slots.ctx_sum)
+        else:
+            bd = costs.decode_iteration_time(num_seqs, state.decode_context_tokens)
+            # The vectorized path never runs under tracing, so skipping
+            # record_event there drops no events.
+            self.record_event(
+                DECODE,
+                now,
+                bd.total + ITERATION_OVERHEAD,
+                num_seqs=num_seqs,
+                tokens=num_seqs,
+                resident_seqs=num_seqs,
+            )
         elapsed = bd.total + ITERATION_OVERHEAD
-        self.record_event(
-            DECODE,
-            now,
-            elapsed,
-            num_seqs=len(state.running),
-            tokens=len(state.running),
-            resident_seqs=len(state.running),
-        )
         now += elapsed
         metrics.add_phase(phase, elapsed, bd)
         metrics.iterations += 1
 
+        if slots is not None:
+            if slots.try_advance(state.kv):
+                state.decode_backlog -= num_seqs
+                state.finish_ready(now)
+                return now
+            # Aggregate KV headroom cannot cover this iteration's block
+            # crossings: fall back to the scalar grow/preempt path so the
+            # eviction order stays bit-exact with the object path.
+            state.drop_slots()
+
         for s in state.running:
             s.advance_decode()
+        state.decode_backlog -= len(state.running)
         # Grow allocations oldest-first; evict youngest on pressure.
         for s in list(state.running):
             if s not in state.running:
@@ -650,6 +764,8 @@ class BaseEngine(abc.ABC):
         """Default preemption: recompute. The victim's KV is dropped and it
         re-enters the waiting queue; its next prefill covers prompt plus
         already-generated tokens (vLLM's recompute path)."""
+        state.drop_slots()
+        state.prefill_epoch += 1
         state.kv.free(victim.seq_id)
         state.running.remove(victim)
         victim.preempt_recompute()

@@ -62,7 +62,7 @@ class DecodePrioritizedEngine(BaseEngine):
                     seq.state = SequenceState.RUNNING
                     seq.prefill_end_time = now
                     seq.mark_first_token(now)
-                    state.running.append(seq)
+                    state.start_running(seq)
                 state.finish_ready(now)
                 if not state.running:
                     metrics.transitions += 1  # the decode stage was trivial

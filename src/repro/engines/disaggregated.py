@@ -99,7 +99,7 @@ class _DecodeOnlyEngine(BaseEngine):
                 seq.advance_prefill(seq.remaining_prefill)
                 seq.state = SequenceState.RUNNING
                 seq.mark_first_token(now)
-                state.running.append(seq)
+                state.start_running(seq)
             if not state.running:
                 if state.waiting:
                     head = state.waiting[0]

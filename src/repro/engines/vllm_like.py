@@ -88,7 +88,7 @@ class VllmLikeEngine(BaseEngine):
                 seq.state = SequenceState.RUNNING
                 seq.prefill_end_time = now
                 seq.mark_first_token(now)
-                state.running.append(seq)
+                state.start_running(seq)
             state.finish_ready(now)  # output_len == 1 finishes at prefill
             return now
         if state.running:
@@ -173,6 +173,7 @@ class VllmLikeEngine(BaseEngine):
             seq.mark_scheduled(now)
             seq.state = SequenceState.PREFILLING
             seq.advance_prefill(take)
+            state.prefill_epoch += 1
             chunk_tokens += take
             budget -= take
             if will_complete:
@@ -212,6 +213,7 @@ class VllmLikeEngine(BaseEngine):
         if decode_seqs:
             for s in state.running:
                 s.advance_decode()
+            state.decode_backlog -= decode_seqs
             for s in list(state.running):
                 if s not in state.running:
                     continue
@@ -228,7 +230,7 @@ class VllmLikeEngine(BaseEngine):
             seq.state = SequenceState.RUNNING
             seq.prefill_end_time = now
             seq.mark_first_token(now)
-            state.running.append(seq)
+            state.start_running(seq)
         state.finish_ready(now)
         return now
 

@@ -32,6 +32,9 @@ class KVCacheManager:
     block_size: int = DEFAULT_BLOCK_SIZE
     _blocks: dict[int, int] = field(default_factory=dict, repr=False)
     _reserved_blocks: dict[int, int] = field(default_factory=dict, repr=False)
+    # Running total of allocated + reserved blocks, kept in lock-step with
+    # the two dicts so ``used_blocks`` is O(1) instead of O(sequences).
+    _used: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity_tokens < self.block_size:
@@ -40,6 +43,7 @@ class KVCacheManager:
             )
         if self.block_size < 1:
             raise CapacityError("block_size must be >= 1")
+        self._used = sum(self._blocks.values()) + sum(self._reserved_blocks.values())
 
     # ------------------------------------------------------------------ #
     # Capacity queries
@@ -51,7 +55,7 @@ class KVCacheManager:
 
     @property
     def used_blocks(self) -> int:
-        return sum(self._blocks.values()) + sum(self._reserved_blocks.values())
+        return self._used
 
     @property
     def free_blocks(self) -> int:
@@ -89,6 +93,7 @@ class KVCacheManager:
                 f"{self.free_blocks + reserved} free"
             )
         self._blocks[seq_id] = need
+        self._used += need - reserved
 
     def grow(self, seq_id: int, new_total_tokens: int) -> None:
         """Grow a sequence's allocation to cover ``new_total_tokens``."""
@@ -105,12 +110,28 @@ class KVCacheManager:
                 f"({self.free_blocks} free)"
             )
         self._blocks[seq_id] = need
+        self._used += extra
+
+    def grow_one_block(self, seq_id: int) -> None:
+        """Extend a sequence by exactly one block.
+
+        Trusted hook for the vectorized decode path, which detects block
+        boundary crossings itself (context grows one token per iteration, so
+        a crossing needs exactly one new block) and pre-checks aggregate
+        headroom before applying any growth.
+        """
+        if self._used >= self.total_blocks:
+            raise CapacityError(f"sequence {seq_id}: cannot grow by 1 block (0 free)")
+        self._blocks[seq_id] += 1
+        self._used += 1
 
     def free(self, seq_id: int) -> int:
         """Release a finished/evicted sequence; returns blocks freed."""
         if seq_id not in self._blocks:
             raise SimulationError(f"sequence {seq_id} not allocated")
-        return self._blocks.pop(seq_id)
+        freed = self._blocks.pop(seq_id)
+        self._used -= freed
+        return freed
 
     def holds(self, seq_id: int) -> bool:
         return seq_id in self._blocks
@@ -128,8 +149,9 @@ class KVCacheManager:
         if need > self.free_blocks:
             raise CapacityError(f"cannot reserve {need} blocks for seq {seq_id}")
         self._reserved_blocks[seq_id] = need
+        self._used += need
 
     def cancel_reservation(self, seq_id: int) -> None:
         if seq_id not in self._reserved_blocks:
             raise SimulationError(f"sequence {seq_id} has no reservation")
-        del self._reserved_blocks[seq_id]
+        self._used -= self._reserved_blocks.pop(seq_id)

@@ -139,7 +139,7 @@ class TestObservedJSQ:
             tiny_model,
             cluster_a10_4,
             parse_config("D2T2"),
-            EngineOptions(coupled=True, router="jsq"),
+            EngineOptions(coupled=True, router="jsq", debug_dispatch_log=True),
         )
         sim = ClusterSimulator(engine, list(wl.requests))
         sim.run()

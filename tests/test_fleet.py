@@ -544,7 +544,7 @@ class TestSimulatorFleetIntegration:
             cluster_a10_4,
             parse_config("T2"),
             EngineOptions(coupled=True, router="jsq", autoscaler="threshold",
-                          min_dp=1, max_dp=2),
+                          min_dp=1, max_dp=2, debug_dispatch_log=True),
         )
         sim = ClusterSimulator(engine, list(wl.requests))
         sim.run()

@@ -1,0 +1,282 @@
+"""The fast shared-clock core, pinned against its reference paths.
+
+Contracts:
+
+1. **Heap == linear scan** — the lazy min-heap event loop of
+   :class:`ClusterSimulator` produces bit-identical
+   :class:`EngineResult`s to the exhaustive next-event scan
+   (``use_heap=False``), across engines, routers and autoscalers: the
+   heap is pure dispatch mechanics, never policy.
+2. **Vector == scalar** — the numpy decode-slot path
+   (``EngineOptions.vectorize``) is bit-identical to the object path on
+   online coupled cells, including preemption-heavy ones.
+3. **Fluid calibration** — the mean-field fast path tracks the event
+   path on the calibration cells: p99 TTFT within 10%, makespan within
+   10% on the fixed fleet; on the autoscaled cell the scale decisions
+   match exactly and billed replica-seconds stay within 15%.
+4. **Auto fidelity** — ``fidelity=auto`` picks the event path below the
+   work-volume threshold (small cells keep full fidelity).
+5. **Bench harness** — the perf cells run scaled-down and the
+   regression check normalizes by the calibration spin.
+"""
+
+from repro.bench import CELLS, check_measurement, run_cell
+from repro.cluster import ClusterSimulator
+from repro.cluster.fluid import AUTO_FLUID_WORK_ITEMS
+from repro.core.engine import SeesawEngine
+from repro.core.options import SeesawOptions
+from repro.engines.base import EngineOptions
+from repro.engines.decode_prioritized import DecodePrioritizedEngine
+from repro.engines.vllm_like import VllmLikeEngine
+from repro.hardware.cluster import make_cluster
+from repro.models.registry import get_model
+from repro.parallel.config import ParallelConfig, parse_config, parse_transition
+from repro.workloads.arrivals import (
+    bursty_arrivals,
+    diurnal_arrivals,
+    poisson_arrivals,
+)
+from repro.workloads.datasets import sharegpt_workload
+
+
+def assert_bit_identical(a, b) -> None:
+    """Full EngineResult equality, with readable failures first."""
+    assert a.total_time == b.total_time
+    assert a.iterations == b.iterations
+    assert a.phase_time == b.phase_time
+    if a.latency is not None:
+        assert a.latency.records == b.latency.records
+    if a.router is not None:
+        assert a.router == b.router
+    assert a == b
+
+
+class TestHeapEventLoop:
+    """Heap-driven dispatch == exhaustive next-event scan, bit for bit."""
+
+    def run_pair(self, make_engine, workload):
+        reqs = list(workload.requests)
+        linear = ClusterSimulator(make_engine(), reqs, use_heap=False).run()
+        heap = ClusterSimulator(make_engine(), reqs, use_heap=True).run()
+        return linear, heap
+
+    def test_vllm_jsq_poisson(self, tiny_model, cluster_a10_4):
+        wl = poisson_arrivals(sharegpt_workload(120, seed=3), 6.0, seed=3)
+        linear, heap = self.run_pair(
+            lambda: VllmLikeEngine(
+                tiny_model,
+                cluster_a10_4,
+                parse_config("D2T2"),
+                EngineOptions(router="jsq", coupled=True),
+            ),
+            wl,
+        )
+        assert_bit_identical(linear, heap)
+
+    def test_vllm_least_work_bursty(self, tiny_model, cluster_a10_4):
+        wl = bursty_arrivals(sharegpt_workload(100, seed=5), 8.0, burstiness=6.0, seed=5)
+        linear, heap = self.run_pair(
+            lambda: VllmLikeEngine(
+                tiny_model,
+                cluster_a10_4,
+                parse_config("D2T2"),
+                EngineOptions(router="least-work", coupled=True),
+            ),
+            wl,
+        )
+        assert_bit_identical(linear, heap)
+
+    def test_decode_prioritized_po2(self, tiny_model, cluster_a10_4):
+        wl = poisson_arrivals(sharegpt_workload(80, seed=9), 6.0, seed=9)
+        linear, heap = self.run_pair(
+            lambda: DecodePrioritizedEngine(
+                tiny_model,
+                cluster_a10_4,
+                parse_config("D2T2"),
+                EngineOptions(router="po2", router_seed=9, coupled=True),
+            ),
+            wl,
+        )
+        assert_bit_identical(linear, heap)
+
+    def test_seesaw_jsq(self, tiny_model, cluster_a10_4):
+        wl = poisson_arrivals(sharegpt_workload(60, seed=13), 4.0, seed=13)
+        cp, cd = parse_transition("D2P2->D2T2")
+        linear, heap = self.run_pair(
+            lambda: SeesawEngine(
+                tiny_model,
+                cluster_a10_4,
+                cp,
+                cd,
+                SeesawOptions(router="jsq", coupled=True),
+            ),
+            wl,
+        )
+        assert_bit_identical(linear, heap)
+
+    def test_vllm_threshold_autoscaled(self, tiny_model, cluster_a10_4):
+        wl = diurnal_arrivals(
+            sharegpt_workload(120, seed=17), rate_rps=5.0, period_s=20.0, seed=17
+        )
+        linear, heap = self.run_pair(
+            lambda: VllmLikeEngine(
+                tiny_model,
+                cluster_a10_4,
+                parse_config("D2T2"),
+                EngineOptions(
+                    router="jsq",
+                    coupled=True,
+                    autoscaler="threshold",
+                    min_dp=1,
+                    max_dp=2,
+                ),
+            ),
+            wl,
+        )
+        assert_bit_identical(linear, heap)
+
+    def test_vllm_predictive_autoscaled(self, tiny_model, cluster_a10_4):
+        wl = diurnal_arrivals(
+            sharegpt_workload(120, seed=19), rate_rps=5.0, period_s=20.0, seed=19
+        )
+        linear, heap = self.run_pair(
+            lambda: VllmLikeEngine(
+                tiny_model,
+                cluster_a10_4,
+                parse_config("D2T2"),
+                EngineOptions(
+                    router="jsq",
+                    coupled=True,
+                    autoscaler="predictive",
+                    min_dp=1,
+                    max_dp=2,
+                    ttft_slo=5.0,
+                ),
+            ),
+            wl,
+        )
+        assert_bit_identical(linear, heap)
+
+
+class TestScalarVectorEquivalence:
+    """The numpy decode-slot path never changes a single result."""
+
+    def run_pair(self, make_engine, workload):
+        scalar = make_engine(EngineOptions(router="jsq", coupled=True, vectorize=False))
+        vector = make_engine(EngineOptions(router="jsq", coupled=True, vectorize=True))
+        return scalar.run(workload), vector.run(workload)
+
+    def test_vllm_online(self, tiny_model, cluster_a10_4):
+        wl = poisson_arrivals(sharegpt_workload(150, seed=7), 8.0, seed=7)
+        scalar, vector = self.run_pair(
+            lambda o: VllmLikeEngine(
+                tiny_model, cluster_a10_4, parse_config("D2T2"), o
+            ),
+            wl,
+        )
+        assert_bit_identical(scalar, vector)
+
+    def test_vllm_preemption_heavy(self, tiny_model):
+        # A single cramped replica: bursts overflow KV and force the
+        # grow/preempt fallback; the slot path must hand over and return
+        # without drifting a counter.
+        cluster = make_cluster("A10", 1)
+        wl = bursty_arrivals(
+            sharegpt_workload(120, seed=23), 12.0, burstiness=8.0, seed=23
+        )
+        scalar, vector = self.run_pair(
+            lambda o: VllmLikeEngine(tiny_model, cluster, parse_config("T1"), o),
+            wl,
+        )
+        if scalar.router is not None:
+            assert scalar.router.observed_preemptions == (
+                vector.router.observed_preemptions
+            )
+        assert_bit_identical(scalar, vector)
+
+    def test_seesaw_online(self, tiny_model, cluster_a10_4):
+        wl = poisson_arrivals(sharegpt_workload(80, seed=29), 6.0, seed=29)
+        cp, cd = parse_transition("D2P2->D2T2")
+        mk = lambda vec: SeesawEngine(
+            tiny_model,
+            cluster_a10_4,
+            cp,
+            cd,
+            SeesawOptions(router="jsq", coupled=True, vectorize=vec),
+        )
+        assert_bit_identical(mk(False).run(wl), mk(True).run(wl))
+
+
+class TestFluidCalibration:
+    """The fluid fast path against the event path on the fixed
+    calibration cells (the tolerances are the published fidelity
+    contract — see README 'Performance & fidelity tiers')."""
+
+    def _run(self, fidelity, reqs, **opts):
+        eng = VllmLikeEngine(
+            get_model("15b"),
+            make_cluster("A10", 8),
+            ParallelConfig(dp=4, tp=2, pp=1),
+            EngineOptions(router="jsq", coupled=True, fidelity=fidelity, **opts),
+        )
+        return eng.run(reqs)
+
+    def test_fixed_fleet_poisson(self):
+        reqs = poisson_arrivals(sharegpt_workload(2000, seed=7), 8.0, seed=7)
+        event = self._run("event", reqs)
+        fluid = self._run("fluid", reqs)
+        ttft_ratio = fluid.latency.ttft.p99 / event.latency.ttft.p99
+        assert abs(ttft_ratio - 1.0) <= 0.10
+        assert abs(fluid.total_time / event.total_time - 1.0) <= 0.10
+
+    def test_autoscaled_diurnal_predictive(self):
+        reqs = diurnal_arrivals(
+            sharegpt_workload(2000, seed=11), rate_rps=6.0, period_s=240.0, seed=11
+        )
+        kw = dict(autoscaler="predictive", min_dp=1, max_dp=4, ttft_slo=2.0)
+        event = self._run("event", reqs, **kw)
+        fluid = self._run("fluid", reqs, **kw)
+        ttft_ratio = fluid.latency.ttft.p99 / event.latency.ttft.p99
+        assert abs(ttft_ratio - 1.0) <= 0.10
+        ev_fleet, fl_fleet = event.router.fleet, fluid.router.fleet
+        assert fl_fleet.scale_ups == ev_fleet.scale_ups
+        assert fl_fleet.scale_downs == ev_fleet.scale_downs
+        assert abs(fl_fleet.replica_seconds / ev_fleet.replica_seconds - 1.0) <= 0.15
+
+    def test_auto_picks_event_below_threshold(self):
+        reqs = poisson_arrivals(sharegpt_workload(200, seed=7), 8.0, seed=7)
+        assert len(reqs.requests) * 1 < AUTO_FLUID_WORK_ITEMS
+        event = self._run("event", reqs)
+        auto = self._run("auto", reqs)
+        assert auto.iterations == event.iterations
+        assert auto.latency.records == event.latency.records
+
+
+class TestBenchHarness:
+    def test_cells_registry(self):
+        assert set(CELLS) == {
+            "offline_static",
+            "coupled_jsq",
+            "autoscaled_diurnal",
+            "fluid_million",
+        }
+
+    def test_scaled_cell_runs(self):
+        record = run_cell("coupled_jsq", scale=0.02)
+        assert record["cell"] == "coupled_jsq"
+        assert record["work_kind"] == "iterations"
+        assert record["work_items"] > 0
+        assert record["wall_s"] > 0
+        assert record["peak_rss_mb"] > 0
+
+    def test_check_normalizes_by_spin(self):
+        baseline = {"wall_s": 1.0, "calib_s": 0.1}
+        # Same machine speed, 20% slower run: inside the 25% budget.
+        ok, _ = check_measurement({"wall_s": 1.2}, baseline, calib_s=0.1)
+        assert ok
+        # Same machine speed, 30% slower run: regression.
+        ok, _ = check_measurement({"wall_s": 1.3}, baseline, calib_s=0.1)
+        assert not ok
+        # Machine half as fast (spin doubled): the budget doubles too.
+        ok, _ = check_measurement({"wall_s": 2.4}, baseline, calib_s=0.2)
+        assert ok
