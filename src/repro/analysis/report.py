@@ -184,8 +184,13 @@ def fleet_table(
     zero scale events — so autoscaled rows have their static baseline in
     the same table. Runs that never routed (no router stats at all) are
     skipped; raises if none qualify.
+
+    Below the table, each autoscaled run's scale actions are listed with
+    the autoscaler's recorded ``reason`` — the triggering signal and
+    window values behind every up/down decision.
     """
     rows = []
+    event_lines: list[str] = []
     for k, r in results.items():
         stats = r.router
         if stats is None:
@@ -200,6 +205,17 @@ def fleet_table(
             replica_seconds = fleet.replica_seconds
             policy, peak, mean = fleet.autoscaler, fleet.peak_dp, fleet.mean_dp
             ups, downs = fleet.scale_ups, fleet.scale_downs
+            scaled = [
+                e for e in fleet.events if e.kind in ("scale-up", "scale-down")
+            ]
+            if scaled:
+                event_lines.append(f"{k}:")
+                for e in scaled:
+                    reason = f"  [{e.reason}]" if e.reason else ""
+                    event_lines.append(
+                        f"  t={e.time:9.2f}s  {e.kind:<10} replica {e.replica_id}"
+                        f"  active_dp={e.active_dp}{reason}"
+                    )
         attainment = (
             r.latency.slo_attainment(ttft_slo=ttft_slo, tpot_slo=tpot_slo)
             if r.latency is not None and (ttft_slo is not None or tpot_slo is not None)
@@ -232,7 +248,48 @@ def fleet_table(
         "replica-s",
         "goodput/replica-s",
     ]
-    return ascii_table(headers, rows, title=title)
+    table = ascii_table(headers, rows, title=title)
+    if event_lines:
+        table += "\nscale actions (autoscaler reasons)\n"
+        table += "\n".join(event_lines)
+    return table
+
+
+def telemetry_table(tel, title: str | None = None) -> str:
+    """Summary table over a :class:`~repro.obs.Telemetry` hub: one row per
+    recorded series with its point count, min/mean/max/last — a compact
+    complement to the ``repro obs`` dashboard for report output.
+    """
+    rows = []
+    for name in sorted(tel.series):
+        pts = tel.series[name]
+        if not pts:
+            continue
+        values = [v for _, v in pts]
+        rows.append(
+            [
+                name,
+                str(len(values)),
+                f"{min(values):.4g}",
+                f"{sum(values) / len(values):.4g}",
+                f"{max(values):.4g}",
+                f"{values[-1]:.4g}",
+            ]
+        )
+    if not rows:
+        raise ConfigurationError("telemetry hub holds no series")
+    headers = ["series", "points", "min", "mean", "max", "last"]
+    table = ascii_table(headers, rows, title=title)
+    n_events = len(tel.events)
+    if n_events or tel.dropped_events:
+        kinds: dict[str, int] = {}
+        for e in tel.events:
+            kinds[e["event"]] = kinds.get(e["event"], 0) + 1
+        parts = [f"{k}={v}" for k, v in sorted(kinds.items())]
+        if tel.dropped_events:
+            parts.append(f"dropped={tel.dropped_events}")
+        table += f"\nevents: {', '.join(parts)}"
+    return table
 
 
 def latency_table(

@@ -43,6 +43,11 @@ from repro.workloads.datasets import sharegpt_workload
 # A cell fails --check when its normalized wall exceeds baseline x this.
 REGRESSION_TOLERANCE = 1.25
 
+# ``--telemetry-overhead`` fails when the instrumented coupled-JSQ cell
+# costs more than this ratio of the telemetry-off run (same process, so
+# no calibration needed — the two runs share the machine).
+TELEMETRY_OVERHEAD_TOLERANCE = 1.10
+
 _BASELINE_PREFIX = "BENCH_"
 
 
@@ -89,16 +94,17 @@ def _cell_offline_static(scale: float):
     return lambda: eng.run(wl), "iterations"
 
 
-def _cell_coupled_jsq(scale: float):
+def _cell_coupled_jsq(scale: float, telemetry=None):
     """Event-coupled JSQ dispatch on the shared clock (the reference
-    cell of the event-path speedup criterion)."""
+    cell of the event-path speedup criterion and of the telemetry
+    overhead gate)."""
     n = max(16, int(2000 * scale))
     wl = poisson_arrivals(sharegpt_workload(num_requests=n, seed=7), rate_rps=8.0, seed=7)
     eng = VllmLikeEngine(
         get_model("15b"),
         make_cluster("A10", 8),
         ParallelConfig(dp=4, tp=2, pp=1),
-        EngineOptions(router="jsq", coupled=True),
+        EngineOptions(router="jsq", coupled=True, telemetry=telemetry),
     )
     return lambda: eng.run(wl), "iterations"
 
@@ -191,6 +197,39 @@ def run_cell(
     }
 
 
+def run_telemetry_overhead(scale: float = 1.0, repeats: int = 5) -> dict:
+    """Telemetry-on vs telemetry-off wall time on the coupled-JSQ cell.
+
+    Both variants run in this process in interleaved off/on rounds (min
+    of ``repeats`` each, fresh engine and hub per repetition) so slow
+    machine drift hits both sides equally and the ratio needs no
+    cross-machine calibration. The gate is the tentpole's cost contract:
+    the instrumented run must stay under
+    :data:`TELEMETRY_OVERHEAD_TOLERANCE` times the zero-overhead run.
+    """
+    from repro.obs import Telemetry
+
+    def one_wall(make_telemetry) -> float:
+        runner, _ = _cell_coupled_jsq(scale, telemetry=make_telemetry())
+        t0 = time.perf_counter()
+        runner()
+        return time.perf_counter() - t0
+
+    off = on = float("inf")
+    for _ in range(repeats):
+        off = min(off, one_wall(lambda: None))
+        on = min(on, one_wall(Telemetry))
+    ratio = on / off if off > 0 else 1.0
+    return {
+        "cell": "coupled_jsq",
+        "off_wall_s": round(off, 4),
+        "on_wall_s": round(on, 4),
+        "overhead_ratio": round(ratio, 4),
+        "tolerance": TELEMETRY_OVERHEAD_TOLERANCE,
+        "ok": ratio <= TELEMETRY_OVERHEAD_TOLERANCE,
+    }
+
+
 def baseline_path(directory: Path, cell: str) -> Path:
     return directory / f"{_BASELINE_PREFIX}{cell}.json"
 
@@ -224,7 +263,10 @@ def check_measurement(measurement: dict, baseline: dict, calib_s: float) -> tupl
 
 def cmd_bench(args: argparse.Namespace) -> int:
     directory = Path(args.baseline_dir) if args.baseline_dir else default_baseline_dir()
-    names = args.cells or list(CELLS)
+    if args.telemetry_overhead and args.cells is None:
+        names = []  # the overhead gate alone, unless cells were asked for
+    else:
+        names = args.cells or list(CELLS)
     unknown = [n for n in names if n not in CELLS]
     if unknown:
         print(f"unknown cells: {', '.join(unknown)}", file=sys.stderr)
@@ -271,6 +313,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
             (out / f"{_BASELINE_PREFIX}{name}.json").write_text(
                 json.dumps(measurement, indent=2, sort_keys=True) + "\n"
             )
+    if args.telemetry_overhead:
+        if args.scale != 1.0:
+            print("telemetry overhead gate requires --scale 1", file=sys.stderr)
+            return 2
+        overhead = run_telemetry_overhead()
+        verdict = "ok" if overhead["ok"] else "FAIL"
+        print(
+            f"telemetry_overhead   off={overhead['off_wall_s']:.3f}s "
+            f"on={overhead['on_wall_s']:.3f}s "
+            f"ratio={overhead['overhead_ratio']:.3f} "
+            f"[{verdict}: tolerance {overhead['tolerance']}]"
+        )
+        if args.json:
+            out = Path(args.json)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / "BENCH_telemetry_overhead.json").write_text(
+                json.dumps(overhead, indent=2, sort_keys=True) + "\n"
+            )
+        if not overhead["ok"]:
+            failed.append("telemetry_overhead")
     if profile_dir is not None:
         print(f"profiles written under {profile_dir}/")
     if failed:
@@ -322,5 +384,13 @@ def add_bench_parser(sub) -> None:
         "--baseline-dir",
         default=None,
         help="baseline directory (default: the repo's benchmarks/perf/)",
+    )
+    p.add_argument(
+        "--telemetry-overhead",
+        action="store_true",
+        help="gate the telemetry cost contract: time the coupled-JSQ cell "
+        "with telemetry off and on, fail (exit 1) when the instrumented "
+        f"run exceeds {TELEMETRY_OVERHEAD_TOLERANCE}x the zero-overhead "
+        "run; on its own it skips the normal cells",
     )
     p.set_defaults(func=cmd_bench)

@@ -7,6 +7,8 @@ Commands:
 - ``sweep``    — throughput of every feasible static config plus Seesaw.
 - ``reproduce``— regenerate a named paper artifact (fig1, fig4, ...).
 - ``predict``  — analytic rates for a configuration (no simulation).
+- ``obs``      — render the telemetry dashboard from a JSONL artifact or
+  a live (re-)run with telemetry enabled.
 
 All commands are deterministic given ``--seed``.
 """
@@ -23,6 +25,7 @@ from repro.analysis.report import (
     fleet_table,
     latency_table,
     routing_table,
+    telemetry_table,
 )
 from repro.autotuner.objective import OBJECTIVES, ServingObjective
 from repro.cluster.autoscaler import AUTOSCALER_POLICIES
@@ -164,6 +167,43 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config",
+        default="T4P2",
+        help="static label (T4P2) or Seesaw transition (P8->T4P2)",
+    )
+    parser.add_argument("--chunked", action="store_true", help="chunked prefill")
+    parser.add_argument("--chunk-size", type=int, default=2048)
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    from repro.obs.telemetry import DEFAULT_INTERVAL_S
+
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record windowed time-series telemetry (per-replica queues, "
+        "KV utilization, fleet membership, SLO burn rate) on the virtual "
+        "clock; off by default — the instrumented loops stay bit-exact "
+        "with telemetry disabled",
+    )
+    parser.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=DEFAULT_INTERVAL_S,
+        help="sampling interval in virtual seconds (default "
+        f"{DEFAULT_INTERVAL_S:g})",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help="write the recorded telemetry to PATH (JSONL, or CSV when "
+        "PATH ends in .csv); implies --telemetry",
+    )
+
+
 def _arrival_kind(value: str) -> str:
     """argparse type for --arrival: a named process, diurnal:<period> or
     trace:<path>."""
@@ -292,15 +332,33 @@ def _print_result(
         )
 
 
-def cmd_run(args: argparse.Namespace) -> int:
+def _make_telemetry(args: argparse.Namespace):
+    """The telemetry hub the CLI flags ask for, or ``None`` (the default —
+    the zero-overhead path)."""
+    if not (getattr(args, "telemetry", False) or getattr(args, "telemetry_out", None)):
+        return None
+    from repro.obs import Telemetry
+
+    return Telemetry(interval_s=args.telemetry_interval)
+
+
+def _export_telemetry(tel, path: str) -> None:
+    from repro.obs import write_csv, write_jsonl
+
+    if path.endswith(".csv"):
+        write_csv(tel, path)
+    else:
+        write_jsonl(tel, path)
+    print(f"telemetry written to {path}")
+
+
+def _build_engine(args: argparse.Namespace, objective: ServingObjective, telemetry=None):
+    """One engine from the shared run/obs flag set (static or transition)."""
     model = get_model(args.model)
     cluster = make_cluster(args.gpu, args.num_gpus)
-    workload = _make_workload(args)
-    objective = _serving_objective(args, workload)
-    options = EngineOptions(
-        chunked_prefill=args.chunked,
+    common = dict(
         chunk_size=args.chunk_size,
-        trace=args.timeline,
+        trace=getattr(args, "timeline", False),
         router=args.router,
         router_seed=args.seed,
         ttft_slo=args.ttft_slo,
@@ -310,6 +368,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         autoscaler=args.autoscaler,
         min_dp=args.min_dp,
         max_dp=args.max_dp,
+        telemetry=telemetry,
     )
     if "->" in args.config:
         from repro.core.options import SeesawOptions
@@ -317,29 +376,55 @@ def cmd_run(args: argparse.Namespace) -> int:
         cp, cd = parse_transition(args.config)
         seesaw_opts = SeesawOptions(
             chunked_prefill=False,
-            chunk_size=args.chunk_size,
-            trace=args.timeline,
-            router=args.router,
-            router_seed=args.seed,
-            ttft_slo=args.ttft_slo,
-            tpot_slo=args.tpot_slo,
-            coupled=args.coupled,
-            fidelity=args.fidelity,
-            autoscaler=args.autoscaler,
-            min_dp=args.min_dp,
-            max_dp=args.max_dp,
             # The SLO objective lets Seesaw's phase loop weigh waiting for
             # predicted arrivals against re-sharding immediately.
             arrival_rate=objective.arrival_rate_hint,
+            **common,
         )
-        engine = SeesawEngine(model, cluster, cp, cd, seesaw_opts)
-    else:
-        engine = VllmLikeEngine(model, cluster, parse_config(args.config), options)
+        return SeesawEngine(model, cluster, cp, cd, seesaw_opts)
+    options = EngineOptions(chunked_prefill=args.chunked, **common)
+    return VllmLikeEngine(model, cluster, parse_config(args.config), options)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = _make_workload(args)
+    objective = _serving_objective(args, workload)
+    tel = _make_telemetry(args)
+    engine = _build_engine(args, objective, telemetry=tel)
     result = engine.run(workload)
     _print_result(result, ttft_slo=args.ttft_slo, tpot_slo=args.tpot_slo)
+    if tel is not None:
+        print()
+        print(telemetry_table(tel, title="telemetry"))
+        if args.telemetry_out:
+            _export_telemetry(tel, args.telemetry_out)
     if args.timeline and engine.last_trace.enabled:
         print()
         print(render_timeline(engine.last_trace))
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import load_jsonl, render_dashboard
+
+    if args.artifact is not None:
+        tel = load_jsonl(args.artifact)
+    elif args.live:
+        from repro.obs import Telemetry
+
+        workload = _make_workload(args)
+        objective = _serving_objective(args, workload)
+        tel = Telemetry(interval_s=args.telemetry_interval)
+        engine = _build_engine(args, objective, telemetry=tel)
+        engine.run(workload)
+        if args.telemetry_out:
+            _export_telemetry(tel, args.telemetry_out)
+    else:
+        raise ConfigurationError(
+            "repro obs needs a JSONL artifact path (from a run with "
+            "--telemetry-out) or --live to simulate one now"
+        )
+    print(render_dashboard(tel, width=args.width, top=args.top), end="")
     return 0
 
 
@@ -568,17 +653,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one engine configuration")
     _add_common(p_run)
-    p_run.add_argument(
-        "--config",
-        default="T4P2",
-        help="static label (T4P2) or Seesaw transition (P8->T4P2)",
-    )
-    p_run.add_argument("--chunked", action="store_true", help="chunked prefill")
-    p_run.add_argument("--chunk-size", type=int, default=2048)
+    _add_engine_flags(p_run)
     p_run.add_argument(
         "--timeline", action="store_true", help="print the schedule timeline"
     )
+    _add_telemetry_flags(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_obs = sub.add_parser(
+        "obs", help="telemetry dashboard from a JSONL artifact or live run"
+    )
+    p_obs.add_argument(
+        "artifact",
+        nargs="?",
+        default=None,
+        help="telemetry JSONL written by run --telemetry-out (omit with "
+        "--live to simulate now)",
+    )
+    p_obs.add_argument(
+        "--live",
+        action="store_true",
+        help="run the configured cell with telemetry enabled and render "
+        "its dashboard (accepts every `repro run` flag)",
+    )
+    p_obs.add_argument("--width", type=int, default=60, help="sparkline width")
+    p_obs.add_argument(
+        "--top", type=int, default=3, help="worst windows to list (default 3)"
+    )
+    _add_common(p_obs)
+    _add_engine_flags(p_obs)
+    _add_telemetry_flags(p_obs)
+    p_obs.set_defaults(func=cmd_obs)
 
     p_cmp = sub.add_parser("compare", help="vLLM-best vs Seesaw-best")
     _add_common(p_cmp)

@@ -59,6 +59,10 @@ class Autoscaler(abc.ABC):
         self.max_dp = max_dp
         self.interval_s = interval_s
         self._last_eval_at: float | None = None
+        # Human-readable record of the latest non-None verdict: the
+        # triggering signal, its window values and the chosen target.
+        # Consumed by the fleet's scale events (FleetEvent.reason).
+        self.last_reason = ""
 
     def note_arrival(self, now: float) -> None:
         """Observe one arrival (predictive rate estimation hook)."""
@@ -154,8 +158,16 @@ class ThresholdAutoscaler(Autoscaler):
         idle = self._window_idle_fraction(now, fleet)
         committed = fleet.target_count
         if mean_queue > self.up_queue_tokens:
+            self.last_reason = (
+                f"mean queued prefill {mean_queue:.0f} tok/replica > "
+                f"up threshold {self.up_queue_tokens:.0f} tok -> dp {committed + 1}"
+            )
             return committed + 1
         if idle > self.down_idle_fraction and mean_queue < 0.1 * self.up_queue_tokens:
+            self.last_reason = (
+                f"window idle {idle:.0%} > {self.down_idle_fraction:.0%} with "
+                f"mean queue {mean_queue:.0f} tok -> dp {committed - 1}"
+            )
             return committed - 1
         return None
 
@@ -236,9 +248,22 @@ class PredictiveAutoscaler(Autoscaler):
         lam = self._offered_rate()
         if lam is None:
             return None
+        goal = (
+            f"ttft attainment >= {self.attainment_target:.0%}"
+            if self.ttft_slo is not None
+            else f"utilization <= {self.max_utilization:.0%}"
+        )
         for c in range(self.min_dp, self.max_dp + 1):
             if self._meets_slo(c, lam):
+                self.last_reason = (
+                    f"offered {lam:.2f} rps @ {self.mu1:.2f} rps/replica -> "
+                    f"smallest c={c} with {goal}"
+                )
                 return c
+        self.last_reason = (
+            f"offered {lam:.2f} rps @ {self.mu1:.2f} rps/replica: no "
+            f"c <= {self.max_dp} meets {goal} -> dp {self.max_dp}"
+        )
         return self.max_dp
 
 

@@ -209,6 +209,10 @@ class ReplicaFleet:
         )
 
     @property
+    def draining_count(self) -> int:
+        return sum(1 for h in self.handles if h.state is ReplicaLifecycle.DRAINING)
+
+    @property
     def target_count(self) -> int:
         """Replicas already committed: active plus in-flight scale-ups."""
         return self.active_count + self.provisioning_count
@@ -252,7 +256,16 @@ class ReplicaFleet:
             if h.state is ReplicaLifecycle.WARMING and h.active_at <= now + _EPS:
                 self._activate(h)
                 self.events.append(
-                    FleetEvent(h.active_at, "active", h.replica_id, self.active_count)
+                    FleetEvent(
+                        h.active_at,
+                        "active",
+                        h.replica_id,
+                        self.active_count,
+                        reason=(
+                            f"weights loaded {self.weight_load_s:.2f}s + KV warm "
+                            f"{self.kv_warmup_s:.2f}s after scale-up"
+                        ),
+                    )
                 )
                 activated.append(h)
         if activated:
@@ -276,27 +289,37 @@ class ReplicaFleet:
                 h.state = ReplicaLifecycle.STOPPED
                 reaped = True
                 self.events.append(
-                    FleetEvent(h.stopped_at, "stopped", h.replica_id, self.active_count)
+                    FleetEvent(
+                        h.stopped_at,
+                        "stopped",
+                        h.replica_id,
+                        self.active_count,
+                        reason="in-flight work drained",
+                    )
                 )
         if reaped:
             self._draining = [
                 h for h in self._draining if h.state is ReplicaLifecycle.DRAINING
             ]
 
-    def scale_up(self, now: float, n: int) -> int:
+    def scale_up(self, now: float, n: int, reason: str = "") -> int:
         """Provision ``n`` new replicas (bounded by ``max_dp``); returns
-        how many were actually started."""
+        how many were actually started. ``reason`` records the scaling
+        decision that ordered them (the autoscaler's triggering signal)."""
         started = 0
         while started < n and self.target_count < self.max_dp:
             handle = self._new_handle(now)
             self.scale_ups += 1
             started += 1
             self.events.append(
-                FleetEvent(now, "scale-up", handle.replica_id, self.active_count)
+                FleetEvent(
+                    now, "scale-up", handle.replica_id, self.active_count,
+                    reason=reason,
+                )
             )
         return started
 
-    def scale_down(self, now: float, n: int) -> int:
+    def scale_down(self, now: float, n: int, reason: str = "") -> int:
         """Begin draining ``n`` active replicas (never below ``min_dp``
         active-or-provisioning, and never the last active replica).
 
@@ -322,20 +345,25 @@ class ReplicaFleet:
             self.scale_downs += 1
             drained += 1
             self.events.append(
-                FleetEvent(now, "scale-down", victim.replica_id, self.active_count)
+                FleetEvent(
+                    now, "scale-down", victim.replica_id, self.active_count,
+                    reason=reason,
+                )
             )
         if drained:
             self.reap_drained()
         return drained
 
-    def resize_to(self, target: int, now: float) -> None:
-        """Move the committed replica count toward ``target``."""
+    def resize_to(self, target: int, now: float, reason: str = "") -> None:
+        """Move the committed replica count toward ``target``; ``reason``
+        is the scaling decision's recorded cause, stamped onto the
+        resulting :class:`FleetEvent` entries."""
         target = max(self.min_dp, min(self.max_dp, target))
         current = self.target_count
         if target > current:
-            self.scale_up(now, target - current)
+            self.scale_up(now, target - current, reason=reason)
         elif target < current:
-            self.scale_down(now, current - target)
+            self.scale_down(now, current - target, reason=reason)
 
     # ------------------------------------------------------------------ #
     # Accounting

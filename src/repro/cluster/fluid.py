@@ -69,6 +69,11 @@ AUTO_FLUID_WORK_ITEMS = 500_000
 # decode operating point (mirrors the predictive autoscaler's window).
 _RATE_WINDOW = 64
 
+# Per-replica telemetry series are only sampled for fleets up to this
+# size; larger fleets are covered by the cluster.* aggregates (a
+# 200-replica timeline is unreadable and costs O(replicas) per sample).
+_MAX_SAMPLED_REPLICAS = 32
+
 
 class _FluidReplica:
     """One replica's fluid state: a prefill stream, a decode tail, and
@@ -245,6 +250,11 @@ class FluidSimulator:
         self.scale_ups = 0
         self.scale_downs = 0
         self._fleet_view = _FluidFleetView(self)
+        # Coarse telemetry sampler (repro.obs): same series schema as the
+        # event path, sampled on a widened grid so a million-request day
+        # stays a few-hundred-point artifact. Per-replica series are only
+        # emitted for small fleets; cluster.* always.
+        self.telemetry = options.telemetry
         # numpy mirror of the active replicas' ready times (the ranking
         # key every queue-depth policy reduces to); rebuilt on membership
         # changes, updated in place on dispatch.
@@ -282,7 +292,13 @@ class FluidSimulator:
         for r in sorted(due, key=lambda r: r.active_at):
             self.active.append(r)
             self.events.append(
-                FleetEvent(r.active_at, "active", r.replica_id, len(self.active))
+                FleetEvent(
+                    r.active_at, "active", r.replica_id, len(self.active),
+                    reason=(
+                        f"weights loaded {self.weight_load_s:.2f}s + KV warm "
+                        f"{self.kv_warmup_s:.2f}s after scale-up"
+                    ),
+                )
             )
         self._rebuild_arrays(now)
 
@@ -295,13 +311,16 @@ class FluidSimulator:
             if done <= now:
                 r.stopped_at = done
                 self.events.append(
-                    FleetEvent(done, "stopped", r.replica_id, len(self.active))
+                    FleetEvent(
+                        done, "stopped", r.replica_id, len(self.active),
+                        reason="fluid backlog drained",
+                    )
                 )
             else:
                 still.append(r)
         self.draining = still
 
-    def _resize(self, target: int, now: float) -> None:
+    def _resize(self, target: int, now: float, reason: str = "") -> None:
         target = max(self.min_dp, min(self.max_dp, target))
         current = len(self.active) + len(self.provisioning)
         while current < target:
@@ -312,7 +331,9 @@ class FluidSimulator:
             self.replicas.append(replica)
             self.provisioning.append(replica)
             self.scale_ups += 1
-            self.events.append(FleetEvent(now, "scale-up", rid, len(self.active)))
+            self.events.append(
+                FleetEvent(now, "scale-up", rid, len(self.active), reason=reason)
+            )
             current += 1
         while current > target and len(self.active) > 1:
             # Least outstanding work first, youngest on ties (the event
@@ -335,7 +356,10 @@ class FluidSimulator:
             self.draining.append(victim)
             self.scale_downs += 1
             self.events.append(
-                FleetEvent(now, "scale-down", victim.replica_id, len(self.active))
+                FleetEvent(
+                    now, "scale-down", victim.replica_id, len(self.active),
+                    reason=reason,
+                )
             )
             current -= 1
             self._rebuild_arrays(now)
@@ -458,6 +482,14 @@ class FluidSimulator:
 
         arrivals_end = reqs[order[-1]].arrival_time if order else 0.0
         tpot, tpot_drain = self._tpot_now = self._tpot(0.0)
+        tel = self.telemetry
+        sample_step = 0.0
+        if tel is not None:
+            # Widened sample grid: a full day of arrivals still exports at
+            # most MAX_WINDOWS cluster samples.
+            from repro.obs.telemetry import MAX_WINDOWS
+
+            sample_step = max(tel.interval_s, arrivals_end / MAX_WINDOWS)
         for i in order:
             req = reqs[i]
             now = req.arrival_time
@@ -469,7 +501,7 @@ class FluidSimulator:
                 autoscaler.note_arrival(now)
                 target = autoscaler.decide(now, self._fleet_view)
                 if target is not None:
-                    self._resize(target, now)
+                    self._resize(target, now, reason=autoscaler.last_reason)
                     active = self.active
                     ready_arr = self._ready
                 lam = self._offered_rate(now)
@@ -485,6 +517,9 @@ class FluidSimulator:
                 self._offered_rate(now)
             if not active:
                 raise SimulationError("fluid fleet has no dispatchable replica")
+            if tel is not None:
+                for t in tel.boundaries("cluster", now, sample_step):
+                    self._sample(tel, t)
             k = self._select(i, now)
             replica = active[k]
             ready = replica.ready
@@ -545,7 +580,10 @@ class FluidSimulator:
         for r in self.draining:
             r.stopped_at = max(r.ready, r.decode_done, r.active_at)
             self.events.append(
-                FleetEvent(r.stopped_at, "stopped", r.replica_id, len(self.active))
+                FleetEvent(
+                    r.stopped_at, "stopped", r.replica_id, len(self.active),
+                    reason="fluid backlog drained",
+                )
             )
         self.draining = []
         makespan = max(
@@ -555,6 +593,11 @@ class FluidSimulator:
                 default=0.0,
             ),
         )
+
+        if tel is not None:
+            # Close out the timeline through the drain tail.
+            for t in tel.boundaries("cluster", makespan, sample_step):
+                self._sample(tel, t)
 
         records = tuple(
             RequestLatency(
@@ -591,6 +634,29 @@ class FluidSimulator:
             latency=LatencyStats(records=records),
             router=self._stats(makespan),
         )
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+
+    def _sample(self, tel, t: float) -> None:
+        """One cluster sample at grid boundary ``t`` (fluid queue depths
+        are analytic: queued tokens = remaining drain seconds x rate)."""
+        pf_rate = self.prefill_rate
+        queued = 0.0
+        for r in self.active:
+            queued += max(0.0, r.ready - t) * pf_rate
+        tel.point("cluster.active_dp", t, float(len(self.active)))
+        tel.point("cluster.provisioning", t, float(len(self.provisioning)))
+        tel.point("cluster.draining", t, float(len(self.draining)))
+        tel.point("cluster.queued_prefill_tokens", t, queued)
+        if len(self.replicas) <= _MAX_SAMPLED_REPLICAS:
+            for r in self.active:
+                tel.point(
+                    f"replica{r.replica_id}.queued_prefill_tokens",
+                    t,
+                    max(0.0, r.ready - t) * pf_rate,
+                )
 
     # ------------------------------------------------------------------ #
     # Stats

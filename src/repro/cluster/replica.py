@@ -55,6 +55,10 @@ class ReplicaSim:
         # the window in which the replica actually existed.
         self.clock = start_time
         self._events = None
+        # Fixed-interval state sampler (repro.obs); None keeps _step on
+        # the exact pre-telemetry path.
+        tel = engine.options.telemetry
+        self._probe = tel.probe(replica_id, start_time) if tel is not None else None
         # Observed-preemption watermark of the last storm check (the
         # coupled analog of ReplicaLoad.storm_preemptions resets).
         self.preemption_mark = 0
@@ -118,6 +122,8 @@ class ReplicaSim:
         self.engine._active_trace = self.run.trace
         try:
             self.clock = max(self.clock, next(self._events))
+            if self._probe is not None:
+                self._probe.tick(self.clock, self.run.state, self.run.metrics)
         except StopIteration:
             # Drained for now; a later inject() re-arms the loop from the
             # current clock (all state persists in self.run).

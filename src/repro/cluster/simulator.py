@@ -113,12 +113,34 @@ class ClusterSimulator:
         self.use_heap = use_heap
         self._heap: list[tuple[float, int, int]] = []
         self._serial: dict[int, int] = {}
-        # Per-dispatch decision log: (request_id, replica, observed queued
-        # prefill tokens per *dispatchable* replica at the decision
-        # instant). Opt-in via EngineOptions.debug_dispatch_log — it grows
-        # O(requests x replicas), which million-request runs cannot afford.
+        # Telemetry hub: dispatch/storm events and the cluster-wide
+        # fixed-interval sampler land here. debug_dispatch_log additionally
+        # records the observed queued-prefill tuple per dispatch —
+        # O(requests x replicas), bounded by the hub's max_events cap; a
+        # debug_dispatch_log run without an explicit hub gets a private
+        # one so the deprecated dispatch_log alias keeps working.
         self.debug_dispatch_log = options.debug_dispatch_log
-        self.dispatch_log: list[tuple[int, int, tuple[float, ...]]] = []
+        tel = options.telemetry
+        if tel is None and options.debug_dispatch_log:
+            from repro.obs.telemetry import Telemetry
+
+            tel = Telemetry()
+        self.telemetry = tel
+
+    @property
+    def dispatch_log(self) -> list[tuple[int, int, tuple[float, ...]]]:
+        """Deprecated alias over the telemetry event stream: the
+        ``(request_id, replica, per-replica queued prefill tokens)``
+        tuples of every dispatch that recorded queue depths (i.e. runs
+        with ``EngineOptions.debug_dispatch_log``). New consumers should
+        read ``telemetry.events_of("dispatch")`` directly."""
+        if self.telemetry is None:
+            return []
+        return [
+            (e["request_id"], e["replica"], tuple(e["queues"]))
+            for e in self.telemetry.events
+            if e["event"] == "dispatch" and "queues" in e
+        ]
 
     @property
     def sims(self) -> list[ReplicaSim]:
@@ -173,6 +195,7 @@ class ClusterSimulator:
         traced_sim: ReplicaSim | None = None
         fleet = self.fleet
         use_heap = self.use_heap
+        tel = self.telemetry
         last_now = -1.0
         # Replicas that executed events since the last snapshot refresh —
         # every other replica's preemption counter is unchanged, so
@@ -217,7 +240,10 @@ class ClusterSimulator:
                 self.autoscaler.note_arrival(now)
                 target = self.autoscaler.decide(now, fleet)
                 if target is not None:
-                    fleet.resize_to(target, now)
+                    fleet.resize_to(target, now, reason=self.autoscaler.last_reason)
+            if tel is not None:
+                for t in tel.boundaries("cluster", now):
+                    self._sample_cluster(tel, t)
             loads = fleet.dispatch_loads()
             if not loads:
                 raise SimulationError("fleet has no dispatchable replica")
@@ -244,13 +270,21 @@ class ClusterSimulator:
             sim.note_queue_depth(now)
             if use_heap:
                 self._push(sim)
-            if queues is not None:
-                self.dispatch_log.append((req.request_id, rid, queues))
+            if tel is not None:
+                if queues is not None:
+                    tel.event(
+                        now, "dispatch",
+                        request_id=req.request_id, replica=rid, queues=queues,
+                    )
+                else:
+                    tel.event(now, "dispatch", request_id=req.request_id, replica=rid)
             if self.policy.rebalance_on_storm and len(loads) > 1:
                 moved = self._redispatch_storms(now)
                 if moved:
                     self.redispatched_requests += moved
                     self.redispatches += 1
+                    if tel is not None:
+                        tel.event(now, "storm", moved=moved)
 
         for sim in fleet.live_sims():
             sim.finish()
@@ -259,6 +293,12 @@ class ClusterSimulator:
             self.engine.last_trace = traced_sim.run.trace
 
         makespan = fleet.makespan()
+        if tel is not None:
+            # Close out the cluster timeline: sample every boundary
+            # between the last arrival and the end of the run (the drain
+            # tail, where queues empty and draining replicas stop).
+            for t in tel.boundaries("cluster", makespan):
+                self._sample_cluster(tel, t)
         results = [
             self.engine._replica_result(sim.run, sim.clock)
             for sim in fleet.sims()
@@ -335,6 +375,25 @@ class ClusterSimulator:
                     (total + float(req.prompt_len + req.output_len - 1), rid, target),
                 )
         return moved
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+
+    def _sample_cluster(self, tel, t: float) -> None:
+        """One cluster-wide sample at boundary ``t`` (sample-and-hold of
+        the membership/queue state at the instant the boundary was
+        crossed — arrivals are the only instants the cluster loop runs,
+        so no finer-grained truth exists on this path)."""
+        fleet = self.fleet
+        queued = 0.0
+        for h in fleet.handles:
+            if h.dispatchable and h.sim is not None:
+                queued += h.sim.queued_prefill_tokens(t)
+        tel.point("cluster.active_dp", t, float(fleet.active_count))
+        tel.point("cluster.provisioning", t, float(fleet.provisioning_count))
+        tel.point("cluster.draining", t, float(fleet.draining_count))
+        tel.point("cluster.queued_prefill_tokens", t, queued)
 
     # ------------------------------------------------------------------ #
     # Stats

@@ -334,11 +334,13 @@ class SeesawEngine(BaseEngine):
         if processed_any and pp > 1:
             # Drain the pipeline for the final micro-batch.
             ramp = (pp - 1) * last_stage_total
+            self.record_event("prefill", now, ramp)
             now += ramp
             metrics.add_phase("prefill", ramp)
         if opts.overlap_swap and state.d2h.free_at > now:
             # Swap-outs that outlived compute stall the transition.
             stall = state.d2h.free_at - now
+            self.record_event("stall", now, stall)
             metrics.add_phase("swap_stall", stall)
             now = state.d2h.free_at
         yield now
@@ -401,6 +403,7 @@ class SeesawEngine(BaseEngine):
                 if state.inflight:
                     stall = state.next_arrival - now
                     if stall > 0:
+                        self.record_event("stall", now, stall)
                         metrics.add_phase("swap_stall", stall)
                         now = state.next_arrival
                     continue
@@ -457,6 +460,7 @@ class SeesawEngine(BaseEngine):
             self.record_event("swap_in", now, swap_t, num_seqs=1, tokens=tokens)
             arrival = state.h2d.submit(now, swap_t)
             if not opts.overlap_swap:
+                self.record_event("stall", now, arrival - now, num_seqs=1)
                 metrics.add_phase("swap_stall", arrival - now)
                 now = arrival
             state.inflight.append((seq, arrival))
@@ -533,6 +537,14 @@ class SeesawEngine(BaseEngine):
                 )
             microbatches = self.form_prefill_microbatches(admitted)
             wall, device = self.prefill_time(costs_p, microbatches)
+            self.record_event(
+                "prefill",
+                now,
+                wall,
+                num_seqs=len(admitted),
+                tokens=sum(s.remaining_prefill for s in admitted),
+                resident_seqs=len(state.running) + len(admitted),
+            )
             now += wall
             metrics.add_phase("prefill", wall, device)
             for seq in admitted:

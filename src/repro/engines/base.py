@@ -104,12 +104,22 @@ class EngineOptions:
     # Vectorized decode bookkeeping (numpy slot arrays). The scalar path
     # is kept for traced runs and as the bit-exactness oracle.
     vectorize: bool = True
-    # Record ClusterSimulator.dispatch_log (one tuple of per-replica
-    # queue depths per arrival — O(requests x replicas) memory). Off by
-    # default; tests that consume the log opt in.
+    # Record per-dispatch queue-depth tuples into the telemetry event
+    # stream (O(requests x replicas) memory — bounded by the hub's
+    # max_events cap). Off by default; tests that consume the deprecated
+    # ClusterSimulator.dispatch_log alias opt in.
     debug_dispatch_log: bool = False
+    # Telemetry hub (repro.obs.Telemetry) recording fixed-interval
+    # time-series and lifecycle events on the virtual clock. None (the
+    # default) keeps every loop on its exact pre-telemetry instruction
+    # path — the bit-exactness contract the goldens pin.
+    telemetry: object | None = None
 
     def __post_init__(self) -> None:
+        if self.telemetry is not None and not hasattr(self.telemetry, "probe"):
+            raise ConfigurationError(
+                "telemetry must be a repro.obs.Telemetry hub (or None)"
+            )
         if self.max_num_seqs < 1 or self.max_batched_tokens < 1 or self.chunk_size < 1:
             raise ConfigurationError("engine limits must be positive")
         if self.block_size < 1:
@@ -435,10 +445,12 @@ class BaseEngine(abc.ABC):
             if fidelity == "fluid":
                 from repro.cluster.fluid import FluidSimulator
 
-                return FluidSimulator(self, requests).run()
-            from repro.cluster.simulator import ClusterSimulator
+                result = FluidSimulator(self, requests).run()
+            else:
+                from repro.cluster.simulator import ClusterSimulator
 
-            return ClusterSimulator(self, requests).run()
+                result = ClusterSimulator(self, requests).run()
+            return self._fold_telemetry(result)
         plan = self.make_router(requests).route(requests)
         parts = [list(p) for p in plan.partitions]
         # Trace the first non-empty partition (partition 0 can be empty
@@ -453,9 +465,21 @@ class BaseEngine(abc.ABC):
             results.append(self._run_replica(part, replica_id=i))
             if traced:
                 self.last_trace = self._active_trace
-        return merge_dp_results(
-            results, engine=self.name, label=self.label(), router=plan.stats
+        return self._fold_telemetry(
+            merge_dp_results(
+                results, engine=self.name, label=self.label(), router=plan.stats
+            )
         )
+
+    def _fold_telemetry(self, result: EngineResult) -> EngineResult:
+        """Derive the windowed latency/SLO series on the run's hub (the
+        single exit every ``run()`` path funnels through)."""
+        tel = self.options.telemetry
+        if tel is not None:
+            tel.fold_result(
+                result, ttft_slo=self.options.ttft_slo, tpot_slo=self.options.tpot_slo
+            )
+        return result
 
     def label(self) -> str:
         """Configuration label shown in reports."""
@@ -466,8 +490,15 @@ class BaseEngine(abc.ABC):
         (the decoupled path: drive the event-loop generator dry)."""
         run = self._replica_setup(list(requests), replica_id)
         now = 0.0
-        for now in self._replica_loop(run, 0.0):
-            pass
+        tel = self.options.telemetry
+        if tel is None:
+            for now in self._replica_loop(run, 0.0):
+                pass
+        else:
+            probe = tel.probe(replica_id)
+            tick = probe.tick
+            for now in self._replica_loop(run, 0.0):
+                tick(now, run.state, run.metrics)
         return self._replica_result(run, now)
 
     def start_replica(

@@ -56,6 +56,14 @@ class DecodePrioritizedEngine(BaseEngine):
                 metrics.add_phase("prefill", wall, device)
                 metrics.iterations += 1
                 metrics.transitions += 1
+                self.record_event(
+                    "prefill",
+                    admit_time,
+                    wall,
+                    num_seqs=len(batch),
+                    tokens=sum(s.remaining_prefill for s in batch),
+                    resident_seqs=len(state.running) + len(batch),
+                )
                 for seq in batch:
                     seq.mark_scheduled(admit_time)
                     seq.advance_prefill(seq.remaining_prefill)

@@ -225,7 +225,12 @@ class DisaggregatedEngine:
             self.model,
             self._decode_cluster,
             self.plan.decode_config,
-            self.options,
+            # The pool run is an internal building block (called more than
+            # once per disaggregated run); only the joint result folds into
+            # the telemetry hub, in :meth:`run`.
+            replace(self.options, telemetry=None)
+            if self.options.telemetry is not None
+            else self.options,
         )
         return engine.run(workload)
 
@@ -343,7 +348,7 @@ class DisaggregatedEngine:
         if online:
             phase = dict(gated_decode.phase_time)
             phase["prefill"] = prefill_busy
-            return EngineResult(
+            return self._fold_telemetry(EngineResult(
                 engine=self.name,
                 label=self.label(),
                 num_requests=workload.num_requests,
@@ -361,7 +366,7 @@ class DisaggregatedEngine:
                 # The decode pool's dispatch record (decode dominates the
                 # serving latency; the prefill pool re-routes upstream).
                 router=gated_decode.router,
-            )
+            ))
         # Offline: the gated decode run degenerates to the seed's
         # decode-pool run shifted by prefill completions; the seed bound
         # still needs the unshifted decode time, simulated once here.
@@ -375,7 +380,7 @@ class DisaggregatedEngine:
         )
         fill = costs.prefill_pass_time([first.prompt_len]).total
         total = max(prefill_time, decode_result.total_time) + fill
-        return EngineResult(
+        return self._fold_telemetry(EngineResult(
             engine=self.name,
             label=self.label(),
             num_requests=workload.num_requests,
@@ -391,4 +396,12 @@ class DisaggregatedEngine:
             transitions=0,
             latency=latency,
             router=decode_result.router,
-        )
+        ))
+
+    def _fold_telemetry(self, result: EngineResult) -> EngineResult:
+        tel = self.options.telemetry
+        if tel is not None:
+            tel.fold_result(
+                result, ttft_slo=self.options.ttft_slo, tpot_slo=self.options.tpot_slo
+            )
+        return result

@@ -1,0 +1,44 @@
+"""Observability subsystem: telemetry hub, artifact I/O, text dashboard.
+
+Attach a :class:`Telemetry` hub to ``EngineOptions.telemetry`` and every
+layer of a run — engine iteration loops, the event-coupled cluster
+simulator, the elastic fleet and its autoscaler, the fluid fast path —
+records fixed-interval time-series and lifecycle events into it on the
+shared virtual clock. ``None`` (the default) keeps every loop on its
+exact pre-telemetry instruction path.
+"""
+
+from repro.obs.dashboard import render_dashboard, sparkline, worst_windows
+from repro.obs.export import SCHEMA, load_jsonl, write_csv, write_jsonl
+from repro.obs.telemetry import (
+    DEFAULT_INTERVAL_S,
+    DEFAULT_MAX_EVENTS,
+    DEFAULT_SLO_BUDGET,
+    MAX_WINDOWS,
+    Counter,
+    Gauge,
+    Histogram,
+    ReplicaProbe,
+    Telemetry,
+    percentiles,
+)
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_INTERVAL_S",
+    "DEFAULT_MAX_EVENTS",
+    "DEFAULT_SLO_BUDGET",
+    "MAX_WINDOWS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ReplicaProbe",
+    "Telemetry",
+    "load_jsonl",
+    "percentiles",
+    "render_dashboard",
+    "sparkline",
+    "worst_windows",
+    "write_csv",
+    "write_jsonl",
+]

@@ -1,0 +1,203 @@
+"""ASCII dashboard over a telemetry hub (``repro obs``).
+
+Renders sparkline timelines for the cluster- and replica-level series, a
+scale-event annotation list (with the autoscaler's recorded reasons) and
+the top-N worst windows by SLO burn rate — the triage view: *when* did
+queues build, *why* did the fleet scale, *how fast* did the error budget
+burn. Pure text, no dependencies beyond the hub itself, so it renders
+identically from a live run or a loaded JSONL artifact.
+"""
+
+from __future__ import annotations
+
+from repro.obs.telemetry import Telemetry
+
+# Density ramp of the sparklines (portable ASCII, low to high).
+_RAMP = " .:-=+*#@"
+
+# Cluster-level series rendered first, in this order, when present.
+_LEAD_SERIES = (
+    "cluster.arrival_rate",
+    "cluster.active_dp",
+    "cluster.provisioning",
+    "cluster.draining",
+    "cluster.queued_prefill_tokens",
+    "ttft.p99",
+    "tpot.p99",
+    "slo.attainment",
+    "slo.burn_rate",
+)
+
+# At most this many replicas get their own timeline rows; larger fleets
+# are summarized by the cluster series (noted in the output).
+_MAX_REPLICA_ROWS = 8
+
+_REPLICA_SUFFIXES = ("queued_prefill_tokens", "kv_util", "running")
+
+
+def sparkline(points: list[tuple[float, float]], width: int, t_end: float | None = None) -> str:
+    """Resample ``points`` onto ``width`` buckets over [0, t_end] and map
+    each bucket's max (sample-and-hold for empty buckets) onto the ramp."""
+    if not points or width < 1:
+        return " " * width
+    if t_end is None:
+        t_end = points[-1][0]
+    t_end = max(t_end, points[-1][0], 1e-12)
+    buckets: list[float | None] = [None] * width
+    for t, v in points:
+        idx = min(width - 1, int(t / t_end * width))
+        prev = buckets[idx]
+        buckets[idx] = v if prev is None else max(prev, v)
+    held = 0.0
+    values = []
+    for b in buckets:
+        if b is not None:
+            held = b
+        values.append(held)
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span <= 0:
+        level = len(_RAMP) - 1 if hi > 0 else 0
+        return _RAMP[level] * width
+    out = []
+    for v in values:
+        level = int((v - lo) / span * (len(_RAMP) - 1) + 0.5)
+        out.append(_RAMP[level])
+    return "".join(out)
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000:
+        return f"{v:.3g}"
+    if abs(v) >= 1:
+        return f"{v:.4g}"
+    return f"{v:.3g}"
+
+
+def _series_row(tel: Telemetry, name: str, width: int, t_end: float, label_w: int) -> str:
+    pts = tel.series[name]
+    values = [v for _, v in pts]
+    spark = sparkline(pts, width, t_end)
+    return (
+        f"{name:<{label_w}} |{spark}| "
+        f"min {_fmt(min(values))}  max {_fmt(max(values))}  last {_fmt(values[-1])}"
+    )
+
+
+def _replica_ids(tel: Telemetry) -> list[int]:
+    ids = set()
+    for name in tel.series:
+        if name.startswith("replica") and "." in name:
+            head = name.split(".", 1)[0][len("replica"):]
+            if head.isdigit():
+                ids.add(int(head))
+    return sorted(ids)
+
+
+def render_dashboard(
+    tel: Telemetry,
+    width: int = 60,
+    top: int = 3,
+    max_events: int = 12,
+) -> str:
+    """The full text dashboard for one run's telemetry."""
+    lines: list[str] = []
+    meta = tel.meta
+    t_end = float(meta.get("total_time") or max(
+        (pts[-1][0] for pts in tel.series.values() if pts), default=0.0
+    ))
+    title = "telemetry"
+    if meta.get("engine"):
+        title = f"telemetry: {meta['engine']}[{meta.get('label', '')}]"
+    lines.append(title)
+    lines.append("=" * len(title))
+    desc = []
+    if meta.get("num_requests"):
+        desc.append(f"{meta['num_requests']} requests")
+    desc.append(f"{t_end:.1f} virtual s")
+    desc.append(f"sample {tel.interval_s:g}s")
+    if meta.get("window_s"):
+        desc.append(f"window {meta['window_s']:g}s")
+    if meta.get("ttft_slo") is not None:
+        desc.append(f"ttft slo {meta['ttft_slo']:g}s")
+    if meta.get("tpot_slo") is not None:
+        desc.append(f"tpot slo {meta['tpot_slo']:g}s")
+    if tel.dropped_events:
+        desc.append(f"{tel.dropped_events} events dropped at cap")
+    lines.append(" | ".join(desc))
+    lines.append("")
+
+    shown = [n for n in _LEAD_SERIES if tel.series.get(n)]
+    replica_ids = _replica_ids(tel)
+    replica_rows = []
+    for rid in replica_ids[:_MAX_REPLICA_ROWS]:
+        for suffix in _REPLICA_SUFFIXES:
+            name = f"replica{rid}.{suffix}"
+            if tel.series.get(name):
+                replica_rows.append(name)
+    all_rows = shown + replica_rows
+    if all_rows:
+        label_w = max(len(n) for n in all_rows)
+        lines.append(f"timelines (0 .. {t_end:.1f}s, ramp '{_RAMP.strip()}' low->high)")
+        for name in shown:
+            lines.append("  " + _series_row(tel, name, width, t_end, label_w))
+        if replica_rows:
+            lines.append("")
+            for name in replica_rows:
+                lines.append("  " + _series_row(tel, name, width, t_end, label_w))
+            if len(replica_ids) > _MAX_REPLICA_ROWS:
+                lines.append(
+                    f"  ... {len(replica_ids) - _MAX_REPLICA_ROWS} more replicas "
+                    "(see cluster.* series)"
+                )
+        lines.append("")
+
+    scale_events = tel.events_of("scale")
+    if scale_events:
+        lines.append(f"scale events ({len(scale_events)})")
+        for e in scale_events[:max_events]:
+            reason = e.get("reason") or ""
+            suffix = f"  [{reason}]" if reason else ""
+            lines.append(
+                f"  t={e['t']:9.2f}s  {e.get('action', '?'):<10} "
+                f"replica {e.get('replica', '?')}  active_dp={e.get('active_dp', '?')}"
+                f"{suffix}"
+            )
+        if len(scale_events) > max_events:
+            lines.append(f"  ... {len(scale_events) - max_events} more")
+        lines.append("")
+
+    storms = tel.events_of("storm")
+    if storms:
+        moved = sum(int(e.get("moved", 0)) for e in storms)
+        lines.append(f"storm re-dispatches: {len(storms)} ({moved} requests moved)")
+        lines.append("")
+
+    metric, worst = worst_windows(tel, top)
+    if worst:
+        lines.append(f"worst windows by {metric}")
+        for t, v in worst:
+            lines.append(f"  t={t:9.2f}s  {metric}={_fmt(v)}")
+        lines.append("")
+
+    if not all_rows and not tel.events:
+        lines.append("(empty hub: run with --telemetry to record series)")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def worst_windows(tel: Telemetry, top: int = 3) -> tuple[str, list[tuple[float, float]]]:
+    """``(metric, window-end/value pairs)`` of the ``top`` worst windows,
+    ranked by SLO burn rate — falling back to ttft.p99 when the budget
+    never burned (or no burn series exists)."""
+    pts = tel.series.get("slo.burn_rate") or []
+    if any(v > 0 for _, v in pts):
+        ranked = sorted(pts, key=lambda p: (-p[1], p[0]))
+        return "slo.burn_rate", [(t, v) for t, v in ranked[:top] if v > 0]
+    pts = tel.series.get("ttft.p99") or []
+    if not pts:
+        return "ttft.p99", []
+    ranked = sorted(pts, key=lambda p: (-p[1], p[0]))
+    return "ttft.p99", ranked[:top]

@@ -1,0 +1,106 @@
+"""Telemetry artifact I/O: JSONL (full) and CSV (series-only) export.
+
+The JSONL schema (``repro-obs-v1``) is line-oriented so million-point
+artifacts stream without a full parse:
+
+- **line 1** — header object: ``{"schema": "repro-obs-v1",
+  "interval_s": ..., "slo_budget": ..., "meta": {...},
+  "counters": {...}, "gauges": {...}, "dropped_events": N}``
+- **series rows** — ``{"t": <virtual seconds>, "series": <name>,
+  "value": <float>}``
+- **event rows** — ``{"t": <virtual seconds>, "event": <kind>,
+  ...kind-specific fields}`` (e.g. ``scale`` events carry ``action``,
+  ``replica``, ``active_dp`` and the autoscaler's recorded ``reason``).
+
+:func:`load_jsonl` reconstructs a :class:`~repro.obs.telemetry.Telemetry`
+from an artifact, so ``repro obs <artifact>`` renders exactly what a
+live run would.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.obs.telemetry import Telemetry
+
+SCHEMA = "repro-obs-v1"
+
+
+def _header(tel: Telemetry) -> dict:
+    return {
+        "schema": SCHEMA,
+        "interval_s": tel.interval_s,
+        "slo_budget": tel.slo_budget,
+        "meta": tel.meta,
+        "counters": {name: c.value for name, c in sorted(tel.counters.items())},
+        "gauges": {name: g.value for name, g in sorted(tel.gauges.items())},
+        "dropped_events": tel.dropped_events,
+    }
+
+
+def write_jsonl(tel: Telemetry, path: str | Path) -> Path:
+    """Write the full hub (header, every series point, every event)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        fh.write(json.dumps(_header(tel), sort_keys=True) + "\n")
+        for name in sorted(tel.series):
+            for t, v in tel.series[name]:
+                fh.write(json.dumps({"t": t, "series": name, "value": v}) + "\n")
+        for e in tel.events:
+            fh.write(json.dumps(e) + "\n")
+    return path
+
+
+def write_csv(tel: Telemetry, path: str | Path) -> Path:
+    """Write every series point as ``t,series,value`` rows (events and
+    meta are JSONL-only — CSV is the spreadsheet-import view)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        fh.write("t,series,value\n")
+        for name in sorted(tel.series):
+            for t, v in tel.series[name]:
+                fh.write(f"{t!r},{name},{v!r}\n")
+    return path
+
+
+def load_jsonl(path: str | Path) -> Telemetry:
+    """Reconstruct a hub from a ``repro-obs-v1`` JSONL artifact."""
+    path = Path(path)
+    with path.open() as fh:
+        first = fh.readline()
+        if not first.strip():
+            raise ConfigurationError(f"{path}: empty telemetry artifact")
+        header = json.loads(first)
+        if header.get("schema") != SCHEMA:
+            raise ConfigurationError(
+                f"{path}: unknown telemetry schema {header.get('schema')!r} "
+                f"(expected {SCHEMA})"
+            )
+        tel = Telemetry(
+            interval_s=header.get("interval_s", 1.0),
+            slo_budget=header.get("slo_budget", 0.01),
+        )
+        tel.meta = dict(header.get("meta", {}))
+        for name, value in header.get("counters", {}).items():
+            tel.counter(name).value = value
+        for name, value in header.get("gauges", {}).items():
+            tel.gauge(name).set(value)
+        tel.dropped_events = int(header.get("dropped_events", 0))
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if "series" in row:
+                tel.point(row["series"], row["t"], row["value"])
+            elif "event" in row:
+                kind = row.pop("event")
+                t = row.pop("t")
+                tel.event(t, kind, **row)
+            else:
+                raise ConfigurationError(f"{path}: unrecognized telemetry row {row}")
+    return tel

@@ -36,6 +36,10 @@ class FleetEvent:
     kind: str  # "scale-up" | "active" | "scale-down" | "stopped"
     replica_id: int
     active_dp: int  # active replica count right after the event
+    # Human-readable cause: for scale actions, the autoscaler's recorded
+    # decision (triggering signal, window values, chosen target); for
+    # lifecycle completions, what finished.
+    reason: str = ""
 
 
 @dataclass(frozen=True)
