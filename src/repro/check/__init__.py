@@ -1,0 +1,7 @@
+"""Correctness tooling: the simlint determinism linter and the simsan
+shared-clock invariant sanitizer (``repro check lint`` / ``--sanitize``)."""
+
+from repro.check.lint import LintReport, lint_paths, lint_source
+from repro.check.rules import ALL_RULES, RULES_BY_ID
+from repro.check.rules.base import Finding
+from repro.check.sanitizer import LEGAL_TRANSITIONS, RULES, Sanitizer, SanitizerError

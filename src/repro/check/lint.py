@@ -1,0 +1,172 @@
+"""simlint — the determinism linter (``repro check lint``).
+
+A custom AST-based static-analysis pass enforcing the coding discipline
+the bit-exactness contracts depend on: virtual-clock-only time (R1),
+seeded RNG (R2), order-stable iteration in scheduling code (R3), guarded
+telemetry in hot loops (R4), absolute-time clock arithmetic (R5), and
+immutable options objects (R6).
+
+Findings can be suppressed with a trailing ``repro-check: ignore[R3]``
+comment on the offending line; a suppression that no finding consumes is
+itself reported (``R0``), so dead suppressions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.check.rules import ALL_RULES, RULES_BY_ID
+from repro.check.rules.base import FileContext, Finding
+from repro.errors import ConfigurationError
+
+#: Directories never descended into when scanning a tree.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", ".pytest_cache"})
+
+
+@dataclass
+class LintReport:
+    """Findings plus enough context to gate CI and export an artifact."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "warning")
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.errors:
+            return 1
+        if strict and self.findings:
+            return 1
+        return 0
+
+    def to_dict(self) -> dict:
+        return {
+            "files_checked": self.files_checked,
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "rules": {
+                rule.id: {"name": rule.name, "severity": rule.severity}
+                for rule in ALL_RULES
+            },
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def format_text(self) -> str:
+        lines = [f.format() for f in self.findings]
+        lines.append(
+            f"simlint: {self.files_checked} files checked, "
+            f"{self.errors} errors, {self.warnings} warnings"
+        )
+        return "\n".join(lines)
+
+
+def _resolve_select(select: set[str] | None) -> set[str] | None:
+    if select is None:
+        return None
+    unknown = select - set(RULES_BY_ID)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown rule ids {sorted(unknown)}; available: {sorted(RULES_BY_ID)}"
+        )
+    return select
+
+
+def lint_source(
+    source: str, rel: str = "module.py", select: set[str] | None = None
+) -> list[Finding]:
+    """Lint one source string as if it lived at ``rel`` (the path scopes
+    directory-targeted rules like R3/R4). Raises ``SyntaxError`` on
+    unparsable input."""
+    select = _resolve_select(select)
+    ctx = FileContext(rel, source)
+    raw: list[Finding] = []
+    for rule in ALL_RULES:
+        if select is not None and rule.id not in select:
+            continue
+        if not rule.applies(ctx.rel):
+            continue
+        raw.extend(rule.check(ctx))
+
+    used: set[tuple[int, str]] = set()
+    kept: list[Finding] = []
+    for finding in raw:
+        allowed = ctx.suppressions.get(finding.line, set())
+        if finding.rule in allowed:
+            used.add((finding.line, finding.rule))
+        else:
+            kept.append(finding)
+
+    # A suppression nothing consumed is stale — report it so ignores
+    # cannot outlive the hazard they were written for.
+    for line, rules in sorted(ctx.suppressions.items()):
+        for rule_id in sorted(rules):
+            if select is not None and rule_id not in select:
+                continue
+            if (line, rule_id) in used:
+                continue
+            kept.append(
+                Finding(
+                    rule="R0",
+                    severity="error",
+                    path=ctx.rel,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"unused suppression: no {rule_id} finding on this "
+                        "line (remove the `# repro-check: ignore` comment)"
+                    ),
+                )
+            )
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                files.append(path)
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not SKIP_DIRS.intersection(sub.parts):
+                    files.append(sub)
+        else:
+            raise ConfigurationError(f"no such file or directory: {path}")
+    return files
+
+
+def lint_paths(paths: list[Path], select: set[str] | None = None) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    report = LintReport()
+    for path in iter_python_files(paths):
+        rel = path.as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+            findings = lint_source(source, rel=rel, select=select)
+        except SyntaxError as exc:
+            findings = [
+                Finding(
+                    rule="E0",
+                    severity="error",
+                    path=rel,
+                    line=exc.lineno or 0,
+                    col=exc.offset or 0,
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
+        report.findings.extend(findings)
+        report.files_checked += 1
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

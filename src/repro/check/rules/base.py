@@ -1,0 +1,167 @@
+"""Shared infrastructure for the simlint rules.
+
+Each rule is a small AST visitor over one parsed file. The
+:class:`FileContext` gives every rule the same pre-computed views: the
+parse tree, a parent map (for ancestor walks, e.g. guard detection), an
+import-alias map (so ``np.random.seed`` resolves to
+``numpy.random.seed`` whatever the file called numpy), and the inline
+suppression table parsed from trailing ``repro-check: ignore[R3]``
+comments.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+#: Inline suppression syntax: a trailing comment of the form
+#: ``repro-check: ignore[R1]`` (or ``ignore[R1,R3]``) on the offending line.
+SUPPRESS_RE = re.compile(r"#\s*repro-check:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    severity: str  # "error" | "warning"
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def _collect_aliases(tree: ast.AST) -> dict[str, str]:
+    """Map locally bound names to the dotted origin they import.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from time import perf_counter as pc`` -> ``{"pc": "time.perf_counter"}``;
+    ``import numpy.random`` binds the top package: ``{"numpy": "numpy"}``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                aliases[bound] = f"{module}.{alias.name}" if module else alias.name
+    return aliases
+
+
+def _parse_suppressions(lines: list[str]) -> dict[int, set[str]]:
+    table: dict[int, set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        m = SUPPRESS_RE.search(line)
+        if m:
+            rules = {part.strip() for part in m.group(1).split(",") if part.strip()}
+            if rules:
+                table[i] = rules
+    return table
+
+
+class FileContext:
+    """One file's parsed source plus the views every rule shares."""
+
+    def __init__(self, rel: str, source: str) -> None:
+        self.rel = rel.replace("\\", "/")
+        self.source = source
+        self.tree = ast.parse(source)
+        self.lines = source.splitlines()
+        self.aliases = _collect_aliases(self.tree)
+        self.suppressions = _parse_suppressions(self.lines)
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+
+    def qualname(self, node: ast.expr) -> str | None:
+        """Dotted origin of a Name/Attribute chain through the alias map.
+
+        Returns ``None`` when the chain's root is not an imported name
+        (a local variable, parameter, or builtin).
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def ancestors(self, node: ast.AST):
+        """The node's ancestor chain, nearest first, as (parent, child)
+        pairs — ``child`` is the direct child of ``parent`` on the path
+        down to ``node`` (needed to tell an ``If`` body from its else)."""
+        child = node
+        parent = self.parents.get(child)
+        while parent is not None:
+            yield parent, child
+            child = parent
+            parent = self.parents.get(child)
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        for parent, _ in self.ancestors(node):
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return parent
+        return None
+
+
+class Rule:
+    """Base class: one determinism rule with an id, severity and scope."""
+
+    id: str = ""
+    name: str = ""
+    severity: str = "error"
+    description: str = ""
+    #: Path substrings the rule applies to; empty = every file.
+    include: tuple[str, ...] = ()
+    #: Path suffixes the rule never applies to.
+    exclude: tuple[str, ...] = ()
+
+    def applies(self, rel: str) -> bool:
+        rel = rel.replace("\\", "/")
+        if any(rel.endswith(suffix) for suffix in self.exclude):
+            return False
+        if self.include and not any(part in rel for part in self.include):
+            return False
+        return True
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=ctx.rel,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )

@@ -1,0 +1,103 @@
+"""R5 — float clock-accumulation hazards.
+
+``clock += dt`` with a loop-invariant ``dt`` accumulates floating-point
+error once per iteration (a classic simulation drift bug); advancing
+from an absolute event time (``clock = event_time`` or
+``clock = start + i * dt``) does not. The rule is deliberately narrow:
+it only fires on add/sub augmented assignment to a clock-named target
+inside a lexical loop whose right-hand side never changes within that
+loop — the pattern where the accumulation is provably repeated.
+Per-iteration elapsed times computed inside the loop are exactly how the
+engines advance their virtual clocks and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.check.rules.base import FileContext, Finding, Rule
+
+CLOCK_NAMES = frozenset({"now", "t", "clock", "time_s", "cur_time", "current_time"})
+CLOCK_SUFFIXES = ("clock", "_now", "_time")
+
+
+def _clock_target(target: ast.expr) -> str | None:
+    if isinstance(target, ast.Name):
+        name = target.id
+    elif isinstance(target, ast.Attribute):
+        name = target.attr
+    else:
+        return None
+    if name in CLOCK_NAMES or name.endswith(CLOCK_SUFFIXES):
+        return name
+    return None
+
+
+def _assigned_names(loop: ast.AST) -> set[str]:
+    """Every plain name (re)bound anywhere inside the loop body."""
+    names: set[str] = set()
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign, ast.NamedExpr)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
+
+
+def _loop_invariant(value: ast.expr, loop_assigned: set[str]) -> bool:
+    """Conservative: Constants, and Names/attribute chains whose root
+    name is never rebound inside the loop."""
+    if isinstance(value, ast.Constant):
+        return True
+    node = value
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id not in loop_assigned
+    return False
+
+
+class ClockDriftRule(Rule):
+    id = "R5"
+    name = "clock-drift"
+    severity = "warning"
+    description = (
+        "repeated `clock += dt` accumulation with a loop-invariant dt "
+        "(use absolute event-time arithmetic)"
+    )
+    include = ("cluster/", "engines/", "core/")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            assigned = _assigned_names(loop)
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.AugAssign):
+                    continue
+                if not isinstance(node.op, (ast.Add, ast.Sub)):
+                    continue
+                name = _clock_target(node.target)
+                if name is None:
+                    continue
+                if _loop_invariant(node.value, assigned):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"clock accumulation `{name} += <loop-invariant>` "
+                            "inside a loop drifts by one float rounding per "
+                            "iteration; advance from an absolute event time "
+                            "(`clock = start + i * dt`)",
+                        )
+                    )
+        return findings

@@ -1,0 +1,80 @@
+"""R6 — mutation of options/spec objects after construction.
+
+``EngineOptions`` (and its engine-specific subclasses) are frozen
+dataclasses shared by every replica of a run; mutating one mid-run —
+directly or through the ``object.__setattr__`` escape hatch — changes
+behavior for some replicas and not others and breaks run
+reproducibility. The supported way to vary a knob is
+``dataclasses.replace`` on a *new* engine.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.check.rules.base import FileContext, Finding, Rule
+
+OPTION_NAMES = frozenset({"options", "opts", "engine_options"})
+
+
+def _options_receiver(target: ast.expr) -> str | None:
+    """Whether an assignment target writes an attribute *of* an options
+    object (``self.options.x = ...``, ``opts.x = ...``)."""
+    if not isinstance(target, ast.Attribute):
+        return None
+    recv = target.value
+    if isinstance(recv, ast.Attribute) and recv.attr in OPTION_NAMES:
+        return f"{recv.attr}.{target.attr}"
+    if isinstance(recv, ast.Name) and recv.id in OPTION_NAMES:
+        return f"{recv.id}.{target.attr}"
+    return None
+
+
+class OptionsMutationRule(Rule):
+    id = "R6"
+    name = "options-mutation"
+    severity = "error"
+    description = (
+        "mutation of EngineOptions/spec objects after run start "
+        "(use dataclasses.replace and a new engine)"
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "__setattr__"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "object"
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "object.__setattr__ bypasses the frozen-options "
+                            "contract; build a new object with "
+                            "dataclasses.replace instead",
+                        )
+                    )
+                continue
+            for target in targets:
+                written = _options_receiver(target)
+                if written is not None:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"assignment to {written} mutates a shared "
+                            "options object after construction; use "
+                            "dataclasses.replace and a new engine",
+                        )
+                    )
+        return findings

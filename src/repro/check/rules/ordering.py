@@ -1,0 +1,105 @@
+"""R3 — ordering hazards in the event-loop/dispatch layers.
+
+Iterating a ``set`` (or ``dict.keys()`` whose insertion history varies)
+in code that schedules events, ranks replicas, or pushes onto the event
+heap makes the iteration order — and therefore the simulation — depend
+on hash seeding and mutation history. Scoped to ``cluster/`` and
+``routing/`` where iteration order feeds scheduling decisions; the fix
+is ``sorted(...)`` or an order-stable container.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.check.rules.base import FileContext, Finding, Rule
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Whether the expression evaluates to a set for sure."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _annotation_is_set(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset")
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_set(node.value)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split("[")[0].strip() in ("set", "frozenset")
+    return False
+
+
+def _set_names(tree: ast.AST) -> set[str]:
+    """Names bound to a set anywhere in the file (assignments, annotated
+    assignments, and set-annotated parameters)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _annotation_is_set(node.annotation) or (
+                node.value is not None and _is_set_expr(node.value)
+            ):
+                names.add(node.target.id)
+        elif isinstance(node, ast.arg) and _annotation_is_set(node.annotation):
+            names.add(node.arg)
+    return names
+
+
+class OrderingRule(Rule):
+    id = "R3"
+    name = "ordering"
+    severity = "error"
+    description = (
+        "iteration over a set (or dict.keys with varying insertion "
+        "history) in event-scheduling/dispatch code"
+    )
+    include = ("cluster/", "routing/")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        set_names = _set_names(ctx.tree)
+        findings = []
+        for node in ast.walk(ctx.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                message = self._hazard(it, set_names)
+                if message is not None:
+                    findings.append(self.finding(ctx, it, message))
+        return findings
+
+    def _hazard(self, it: ast.expr, set_names: set[str]) -> str | None:
+        if isinstance(it, ast.Name) and it.id in set_names:
+            return (
+                f"iteration over set {it.id!r} has no stable order; iterate "
+                "sorted(...) (or an order-stable container) before it feeds "
+                "scheduling or dispatch"
+            )
+        if _is_set_expr(it):
+            return (
+                "direct iteration over a set expression has no stable order; "
+                "wrap it in sorted(...)"
+            )
+        if (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Attribute)
+            and it.func.attr == "keys"
+            and not it.args
+        ):
+            return (
+                "iteration over dict.keys() exposes insertion history as an "
+                "order; iterate sorted(...) or make the order explicit"
+            )
+        return None

@@ -1,0 +1,65 @@
+"""R2 — unseeded global RNG.
+
+All stochastic components take an explicit seeded
+:class:`numpy.random.Generator` built by :mod:`repro.utils.rng`; the
+stdlib ``random`` module and numpy's legacy global state
+(``np.random.<fn>``) share hidden process-global state, so one stray
+call makes results depend on import order and prior draws.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.check.rules.base import FileContext, Finding, Rule
+
+#: numpy.random entry points that *construct* seeded streams (allowed).
+SEEDED_FACTORIES = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.Philox",
+        "numpy.random.BitGenerator",
+    }
+)
+
+#: stdlib random entry points that construct independent seeded streams.
+SEEDED_STDLIB = frozenset({"random.Random", "random.SystemRandom"})
+
+
+class GlobalRngRule(Rule):
+    id = "R2"
+    name = "global-rng"
+    severity = "error"
+    description = (
+        "global RNG state (random.*, np.random.*) instead of a seeded "
+        "generator from repro.utils.rng"
+    )
+    exclude = ("utils/rng.py",)
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qn = ctx.qualname(node.func)
+            if qn is None:
+                continue
+            hit = (
+                qn.startswith("random.") and qn not in SEEDED_STDLIB
+            ) or (
+                qn.startswith("numpy.random.") and qn not in SEEDED_FACTORIES
+            )
+            if hit:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"global RNG call {qn}(); route randomness through "
+                        "repro.utils.rng.make_rng/spawn_rng so streams are "
+                        "seeded and independent",
+                    )
+                )
+        return findings

@@ -1,0 +1,58 @@
+"""R1 — wall-clock usage in simulator code.
+
+Every result in this repo is computed on a *virtual* clock the event
+loops advance explicitly; a single ``time.time()`` (or friends) read in
+simulator code couples results to the host machine and silently breaks
+the bit-exactness goldens. Host timing is legitimate only in the bench
+harness and CLI wrappers, which are excluded.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.check.rules.base import FileContext, Finding, Rule
+
+WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(Rule):
+    id = "R1"
+    name = "wall-clock"
+    severity = "error"
+    description = (
+        "host wall-clock reads (time.time, perf_counter, datetime.now) "
+        "outside the bench/CLI timing layer"
+    )
+    exclude = ("bench.py", "cli.py")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qn = ctx.qualname(node.func)
+            if qn in WALLCLOCK_CALLS:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"wall-clock call {qn}() in simulator code; results "
+                        "must advance the virtual clock only",
+                    )
+                )
+        return findings

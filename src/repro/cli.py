@@ -165,6 +165,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "offline metric) or slo (SLO-constrained goodput at the offered "
         "--request-rate, with simulated re-ranking by attainment)",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the shared-clock invariant sanitizer (simsan) alongside "
+        "the simulation: per-replica/cluster clock monotonicity, event "
+        "causality, token conservation, KV balance, request identity and "
+        "fleet lifecycle legality; needs --coupled with the event "
+        "fidelity, and any violation aborts the run with the rule id",
+    )
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -332,6 +341,16 @@ def _print_result(
         )
 
 
+def _make_sanitizer(args: argparse.Namespace):
+    """The simsan instance ``--sanitize`` asks for, or ``None`` (the
+    default — the bit-exact uninstrumented path)."""
+    if not getattr(args, "sanitize", False):
+        return None
+    from repro.check import Sanitizer
+
+    return Sanitizer()
+
+
 def _make_telemetry(args: argparse.Namespace):
     """The telemetry hub the CLI flags ask for, or ``None`` (the default —
     the zero-overhead path)."""
@@ -356,20 +375,21 @@ def _build_engine(args: argparse.Namespace, objective: ServingObjective, telemet
     """One engine from the shared run/obs flag set (static or transition)."""
     model = get_model(args.model)
     cluster = make_cluster(args.gpu, args.num_gpus)
-    common = dict(
-        chunk_size=args.chunk_size,
-        trace=getattr(args, "timeline", False),
-        router=args.router,
-        router_seed=args.seed,
-        ttft_slo=args.ttft_slo,
-        tpot_slo=args.tpot_slo,
-        coupled=args.coupled,
-        fidelity=args.fidelity,
-        autoscaler=args.autoscaler,
-        min_dp=args.min_dp,
-        max_dp=args.max_dp,
-        telemetry=telemetry,
-    )
+    common = {
+        "chunk_size": args.chunk_size,
+        "trace": getattr(args, "timeline", False),
+        "router": args.router,
+        "router_seed": args.seed,
+        "ttft_slo": args.ttft_slo,
+        "tpot_slo": args.tpot_slo,
+        "coupled": args.coupled,
+        "fidelity": args.fidelity,
+        "autoscaler": args.autoscaler,
+        "min_dp": args.min_dp,
+        "max_dp": args.max_dp,
+        "telemetry": telemetry,
+        "sanitize": _make_sanitizer(args),
+    }
     if "->" in args.config:
         from repro.core.options import SeesawOptions
 
@@ -393,6 +413,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     engine = _build_engine(args, objective, telemetry=tel)
     result = engine.run(workload)
     _print_result(result, ttft_slo=args.ttft_slo, tpot_slo=args.tpot_slo)
+    san = engine.options.sanitize
+    if san is not None:
+        print(f"sanitizer: {san.describe()}")
     if tel is not None:
         print()
         print(telemetry_table(tel, title="telemetry"))
@@ -435,17 +458,18 @@ def cmd_compare(args: argparse.Namespace) -> int:
     objective = _serving_objective(args, workload)
     from repro.core.options import SeesawOptions
 
-    slo_opts = dict(ttft_slo=args.ttft_slo, tpot_slo=args.tpot_slo)
-    router_opts = dict(
-        router=args.router,
-        router_seed=args.seed,
-        coupled=args.coupled,
-        fidelity=args.fidelity,
-        autoscaler=args.autoscaler,
-        min_dp=args.min_dp,
-        max_dp=args.max_dp,
+    slo_opts = {"ttft_slo": args.ttft_slo, "tpot_slo": args.tpot_slo}
+    router_opts = {
+        "router": args.router,
+        "router_seed": args.seed,
+        "coupled": args.coupled,
+        "fidelity": args.fidelity,
+        "autoscaler": args.autoscaler,
+        "min_dp": args.min_dp,
+        "max_dp": args.max_dp,
+        "sanitize": _make_sanitizer(args),
         **slo_opts,
-    )
+    }
     static_cfg = best_static_config(
         model,
         cluster,
@@ -519,15 +543,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.options import SeesawOptions
 
     results: dict[str, EngineResult] = {}
-    slo_opts = dict(ttft_slo=args.ttft_slo, tpot_slo=args.tpot_slo)
-    fleet_opts = dict(
-        autoscaler=args.autoscaler, min_dp=args.min_dp, max_dp=args.max_dp
-    )
+    slo_opts = {"ttft_slo": args.ttft_slo, "tpot_slo": args.tpot_slo}
+    fleet_opts = {
+        "autoscaler": args.autoscaler, "min_dp": args.min_dp, "max_dp": args.max_dp
+    }
     opts = EngineOptions(
         router=args.router,
         router_seed=args.seed,
         coupled=args.coupled,
         fidelity=args.fidelity,
+        sanitize=_make_sanitizer(args),
         **fleet_opts,
         **slo_opts,
     )
@@ -539,6 +564,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         router_seed=args.seed,
         coupled=args.coupled,
         fidelity=args.fidelity,
+        sanitize=_make_sanitizer(args),
         **fleet_opts,
         **slo_opts,
         arrival_rate=objective.arrival_rate_hint,
@@ -604,6 +630,30 @@ def cmd_predict(args: argparse.Namespace) -> int:
         print(f"slo attainment    : {pred.attainment * 100:.0f}%")
         print(f"goodput           : {pred.goodput_rps:.3f} req/s")
     return 0
+
+
+def cmd_check_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.check import lint_paths
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [Path(repro.__file__).parent]
+    select = None
+    if args.select:
+        select = {part.strip() for part in args.select.split(",") if part.strip()}
+    report = lint_paths(paths, select=select)
+    if args.report:
+        Path(args.report).write_text(report.to_json() + "\n", encoding="utf-8")
+        print(f"lint report written to {args.report}", file=sys.stderr)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return report.exit_code(strict=args.strict)
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
@@ -699,6 +749,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument("--input-len", type=float, default=2000)
     p_pred.add_argument("--output-len", type=float, default=200)
     p_pred.set_defaults(func=cmd_predict)
+
+    p_check = sub.add_parser(
+        "check", help="correctness tooling: determinism linter (simlint)"
+    )
+    check_sub = p_check.add_subparsers(dest="check_command", required=True)
+    p_lint = check_sub.add_parser(
+        "lint",
+        help="AST determinism lint (rules R1-R6) over source trees",
+        description="simlint: wall-clock reads (R1), unseeded global RNG "
+        "(R2), set-iteration order hazards in scheduling code (R3), "
+        "unguarded telemetry in hot loops (R4), relative clock "
+        "accumulation (R5) and options mutation after construction (R6). "
+        "Suppress a finding with a trailing comment of the form "
+        "`repro-check: ignore[R3]` preceded by a hash; unused "
+        "suppressions are themselves reported (R0).",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro "
+        "package source)",
+    )
+    p_lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too, not just errors (CI mode)",
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="format"
+    )
+    p_lint.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the full JSON report to PATH (CI artifact)",
+    )
+    p_lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all), e.g. R1,R3",
+    )
+    p_lint.set_defaults(func=cmd_check_lint)
 
     p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
     p_repro.add_argument(

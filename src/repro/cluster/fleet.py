@@ -152,6 +152,9 @@ class ReplicaFleet:
         self.max_dp = max_dp
         self.autoscaler_name = autoscaler_name
         self.weight_load_s, self.kv_warmup_s = provision_times(engine)
+        # Runtime invariant sanitizer (repro.check.Sanitizer); None keeps
+        # lifecycle bookkeeping on the exact unsanitized path.
+        self._san = engine.options.sanitize
         self.handles: list[ReplicaHandle] = []
         # Lifecycle worklists so the per-event poll/reap sweeps touch only
         # replicas that can actually transition (id-ordered, like the
@@ -166,6 +169,9 @@ class ReplicaFleet:
         # latency and no scale event.
         for _ in range(initial_dp):
             handle = self._new_handle(0.0, prewarmed=True)
+            # Prewarmed replicas pass through WARMING instantaneously so
+            # even the t=0 fleet walks the strict lifecycle order.
+            self._transition(handle, ReplicaLifecycle.WARMING, 0.0)
             self._activate(handle)
 
     # ------------------------------------------------------------------ #
@@ -233,8 +239,19 @@ class ReplicaFleet:
             self._pending.append(handle)
         return handle
 
+    def _transition(
+        self, handle: ReplicaHandle, new_state: ReplicaLifecycle, now: float
+    ) -> None:
+        """Every lifecycle state write funnels through here so the
+        sanitizer can assert the edge is legal (S6)."""
+        if self._san is not None:
+            self._san.note_transition(
+                handle.replica_id, handle.state.value, new_state.value, now
+            )
+        handle.state = new_state
+
     def _activate(self, handle: ReplicaHandle) -> None:
-        handle.state = ReplicaLifecycle.ACTIVE
+        self._transition(handle, ReplicaLifecycle.ACTIVE, handle.active_at)
         handle.sim = self.engine.start_replica(
             handle.replica_id, start_time=handle.active_at
         )
@@ -252,7 +269,7 @@ class ReplicaFleet:
                 h.state is ReplicaLifecycle.PROVISIONING
                 and h.weights_ready_at <= now + _EPS
             ):
-                h.state = ReplicaLifecycle.WARMING
+                self._transition(h, ReplicaLifecycle.WARMING, h.weights_ready_at)
             if h.state is ReplicaLifecycle.WARMING and h.active_at <= now + _EPS:
                 self._activate(h)
                 self.events.append(
@@ -286,7 +303,7 @@ class ReplicaFleet:
                 # idle when it was told to go.
                 assert h.drain_started_at is not None
                 h.stopped_at = max(h.drain_started_at, h.sim.clock)
-                h.state = ReplicaLifecycle.STOPPED
+                self._transition(h, ReplicaLifecycle.STOPPED, h.stopped_at)
                 reaped = True
                 self.events.append(
                     FleetEvent(
@@ -339,7 +356,7 @@ class ReplicaFleet:
                     -h.replica_id,
                 ),
             )
-            victim.state = ReplicaLifecycle.DRAINING
+            self._transition(victim, ReplicaLifecycle.DRAINING, now)
             victim.drain_started_at = now
             self._draining.append(victim)
             self.scale_downs += 1

@@ -260,6 +260,12 @@ class FluidSimulator:
         # changes, updated in place on dispatch.
         self._ready = np.array([r.ready for r in self.active], dtype=np.float64)
         self._decode_secs = np.zeros(len(self.active), dtype=np.float64)
+        # The membership snapshot the arrays were built against. Scale
+        # up/down mutates ``active`` before the rebuild, so carrying
+        # per-replica state across a rebuild must key off this snapshot —
+        # pairing the *new* membership positionally would hand a removed
+        # replica's decode backlog to whoever shifted into its slot.
+        self._array_members: list = list(self.active)
         self._decode_last = 0.0
 
     # ------------------------------------------------------------------ #
@@ -268,12 +274,16 @@ class FluidSimulator:
 
     def _rebuild_arrays(self, now: float) -> None:
         self._decay_decode(now)
-        order = {id(r): s for r, s in zip(self.active, self._decode_secs)}
+        order = {
+            id(r): s
+            for r, s in zip(self._array_members, self._decode_secs, strict=True)
+        }
         self.active.sort(key=lambda r: r.replica_id)
         self._ready = np.array([r.ready for r in self.active], dtype=np.float64)
         self._decode_secs = np.array(
             [order.get(id(r), 0.0) for r in self.active], dtype=np.float64
         )
+        self._array_members = list(self.active)
 
     def _decay_decode(self, now: float) -> None:
         dt = now - self._decode_last

@@ -59,6 +59,9 @@ class ReplicaSim:
         # the exact pre-telemetry path.
         tel = engine.options.telemetry
         self._probe = tel.probe(replica_id, start_time) if tel is not None else None
+        # Runtime invariant sanitizer (repro.check); None keeps _step on
+        # the exact unsanitized path.
+        self._san = engine.options.sanitize
         # Observed-preemption watermark of the last storm check (the
         # coupled analog of ReplicaLoad.storm_preemptions resets).
         self.preemption_mark = 0
@@ -121,7 +124,10 @@ class ReplicaSim:
         # land in this replica's trace, not another's.
         self.engine._active_trace = self.run.trace
         try:
-            self.clock = max(self.clock, next(self._events))
+            t = next(self._events)
+            if self._san is not None:
+                self._san.note_replica_clock(self.replica_id, self.clock, t)
+            self.clock = max(self.clock, t)
             if self._probe is not None:
                 self._probe.tick(self.clock, self.run.state, self.run.metrics)
         except StopIteration:

@@ -37,6 +37,7 @@ from typing import Sequence as TypingSequence, TYPE_CHECKING
 
 import heapq
 import math
+import warnings
 
 from repro.cluster.autoscaler import make_autoscaler
 from repro.cluster.fleet import ReplicaFleet
@@ -75,6 +76,13 @@ class ClusterSimulator:
         # before every decision.
         self.policy = engine.make_router(self.requests)
         options = engine.options
+        # Runtime invariant sanitizer (repro.check.Sanitizer); None keeps
+        # the event loop on its exact unsanitized instruction path. Reset
+        # per-run state before the fleet constructor fires its prewarm
+        # lifecycle transitions, so one sanitizer can watch many runs.
+        self.sanitizer = options.sanitize
+        if self.sanitizer is not None:
+            self.sanitizer.begin_run()
         min_dp = options.min_dp if options.min_dp is not None else 1
         max_dp = options.max_dp
         if options.autoscaler == "none":
@@ -126,6 +134,7 @@ class ClusterSimulator:
 
             tel = Telemetry()
         self.telemetry = tel
+        self._dispatch_log_warned = False
 
     @property
     def dispatch_log(self) -> list[tuple[int, int, tuple[float, ...]]]:
@@ -134,6 +143,14 @@ class ClusterSimulator:
         tuples of every dispatch that recorded queue depths (i.e. runs
         with ``EngineOptions.debug_dispatch_log``). New consumers should
         read ``telemetry.events_of("dispatch")`` directly."""
+        if not self._dispatch_log_warned:
+            self._dispatch_log_warned = True
+            warnings.warn(
+                "ClusterSimulator.dispatch_log is deprecated; read "
+                'telemetry.events_of("dispatch") instead',
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if self.telemetry is None:
             return []
         return [
@@ -170,6 +187,7 @@ class ClusterSimulator:
         heap = self._heap
         serials = self._serial
         handles = self.fleet.handles
+        san = self.sanitizer
         while heap:
             t, rid, serial = heap[0]
             if t + _EPS >= now:
@@ -181,6 +199,15 @@ class ClusterSimulator:
             sim = handle.sim
             if sim is None or not handle.live:
                 continue
+            if san is not None:
+                # S2: a validated pop must not come later than the linear
+                # oracle's minimum over every live replica (O(R), the cost
+                # of sanitizing).
+                oracle = min(
+                    (s.next_event_time() for s in self.fleet.live_sims()),
+                    default=math.inf,
+                )
+                san.note_event_pop(t, rid, oracle)
             sim.advance(now)
             stepped.add(rid)
             self._push(sim)
@@ -196,6 +223,7 @@ class ClusterSimulator:
         fleet = self.fleet
         use_heap = self.use_heap
         tel = self.telemetry
+        san = self.sanitizer
         last_now = -1.0
         # Replicas that executed events since the last snapshot refresh —
         # every other replica's preemption counter is unchanged, so
@@ -208,6 +236,8 @@ class ClusterSimulator:
         for i in order:
             req = reqs[i]
             now = req.arrival_time
+            if san is not None:
+                san.note_cluster_clock(now)
             # Commit membership events due by this instant (replicas whose
             # provisioning/warming finished join the dispatchable set).
             for handle in fleet.poll(now):
@@ -218,7 +248,10 @@ class ClusterSimulator:
                 # only preemptions committed by *this* advance read as
                 # "just happened" (the decaying slo penalty).
                 if use_heap:
-                    for rid in stepped:
+                    # Sorted for determinism: `stepped` is a set, and while
+                    # these snapshot writes commute today, iteration order
+                    # must never become load-bearing (simlint R3).
+                    for rid in sorted(stepped):
                         sim = fleet.handles[rid].sim
                         if sim is not None:
                             sim.preemption_snapshot = sim.observed_preemptions()
@@ -266,6 +299,8 @@ class ClusterSimulator:
                 sim.run.trace = Trace()
                 traced_sim = sim
                 trace_armed = False
+            if san is not None:
+                san.note_dispatch(req, rid, now)
             sim.inject(req)
             sim.note_queue_depth(now)
             if use_heap:
@@ -289,6 +324,11 @@ class ClusterSimulator:
         for sim in fleet.live_sims():
             sim.finish()
         fleet.reap_drained()
+        if san is not None:
+            # Drain-time conservation sweep (S3 token conservation + S4
+            # KV balance) over every replica that ever simulated.
+            for sim in fleet.sims():
+                san.check_drained(sim.replica_id, sim.run.state, sim.clock)
         if traced_sim is not None:
             self.engine.last_trace = traced_sim.run.trace
 
@@ -351,6 +391,7 @@ class ClusterSimulator:
         # recomputed outstanding_tokens bit-for-bit).
         candidates = [(s.outstanding_tokens(now), s.replica_id, s) for s in calm]
         heapq.heapify(candidates)
+        san = self.sanitizer
         moved = 0
         for src in storming:
             stolen = src.steal_pending()
@@ -364,6 +405,10 @@ class ClusterSimulator:
                 self._push(src)
             for req in stolen:
                 total, rid, target = heapq.heappop(candidates)
+                if san is not None:
+                    # S5: ownership moves src -> target exactly once.
+                    san.note_withdraw(req, src.replica_id, now)
+                    san.note_dispatch(req, rid, now)
                 target.inject(req)
                 target.note_queue_depth(now)
                 target.redispatched_in += 1

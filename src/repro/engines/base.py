@@ -114,12 +114,34 @@ class EngineOptions:
     # default) keeps every loop on its exact pre-telemetry instruction
     # path — the bit-exactness contract the goldens pin.
     telemetry: object | None = None
+    # Runtime invariant sanitizer (repro.check.Sanitizer) asserting clock
+    # monotonicity, event causality, token/KV conservation, request-id
+    # uniqueness and fleet lifecycle legality during coupled runs. None
+    # (the default) keeps every loop on its exact unsanitized instruction
+    # path — the same bit-exactness contract as telemetry.
+    sanitize: object | None = None
 
     def __post_init__(self) -> None:
         if self.telemetry is not None and not hasattr(self.telemetry, "probe"):
             raise ConfigurationError(
                 "telemetry must be a repro.obs.Telemetry hub (or None)"
             )
+        if self.sanitize is not None:
+            if not hasattr(self.sanitize, "note_transition"):
+                raise ConfigurationError(
+                    "sanitize must be a repro.check.Sanitizer (or None)"
+                )
+            if not self.coupled:
+                raise ConfigurationError(
+                    "the sanitizer checks shared-clock invariants: pass "
+                    "coupled=True (--coupled) with --sanitize"
+                )
+            if self.fidelity != "event":
+                raise ConfigurationError(
+                    "the sanitizer needs the event-fidelity coupled path "
+                    "(fluid replicas have no event loop to check); pass "
+                    "--fidelity event"
+                )
         if self.max_num_seqs < 1 or self.max_batched_tokens < 1 or self.chunk_size < 1:
             raise ConfigurationError("engine limits must be positive")
         if self.block_size < 1:

@@ -145,7 +145,7 @@ class DecodeSlots:
             state.finished.append(s)
         keep = np.ones(len(self.seqs), dtype=bool)
         keep[idx] = False
-        self.seqs = [s for s, k in zip(self.seqs, keep) if k]
+        self.seqs = [s for s, k in zip(self.seqs, keep, strict=True) if k]
         self.gen0 = self.gen0[keep]
         self.rem0 = self.rem0[keep]
         self.ctx0 = self.ctx0[keep]
@@ -161,5 +161,5 @@ class DecodeSlots:
         """Write the drifted per-slot counters back into the Sequence
         objects (called before the object lists become authoritative)."""
         adv = self.adv
-        for s, g in zip(self.seqs, self.gen0.tolist()):
+        for s, g in zip(self.seqs, self.gen0.tolist(), strict=True):
             s.generated_tokens = g + adv

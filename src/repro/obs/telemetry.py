@@ -141,7 +141,7 @@ class Histogram:
         if not self.values:
             return []
         buckets: dict[int, list[float]] = {}
-        for t, v in zip(self.times, self.values):
+        for t, v in zip(self.times, self.values, strict=True):
             buckets.setdefault(int(t / window_s), []).append(v)
         return [
             ((idx + 1) * window_s, percentiles(buckets[idx], qs))
@@ -387,11 +387,11 @@ class Telemetry:
             rate_pts.append((t_end, arrivals[i] / window))
             sub = finished[i]
             if sub:
-                for q, v in zip((50, 90, 99), percentiles([r.ttft for r in sub])):
+                for q, v in zip((50, 90, 99), percentiles([r.ttft for r in sub]), strict=True):
                     ttft_pts[q].append((t_end, v))
                 tpots = [r.tpot for r in sub if r.tpot is not None]
                 if tpots:
-                    for q, v in zip((50, 90, 99), percentiles(tpots)):
+                    for q, v in zip((50, 90, 99), percentiles(tpots), strict=True):
                         tpot_pts[q].append((t_end, v))
                 attainment = LatencyStats(records=tuple(sub)).slo_attainment(
                     ttft_slo=ttft_slo, tpot_slo=tpot_slo

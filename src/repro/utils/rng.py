@@ -8,6 +8,8 @@ are reproducible bit-for-bit and components never share hidden global state.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 _DEFAULT_SEED = 0xC0FFEE
@@ -26,8 +28,11 @@ def spawn_rng(parent: np.random.Generator, key: str) -> np.random.Generator:
     """Derive an independent child generator from ``parent`` and a label.
 
     The label participates in the seed so two children with different keys
-    produce uncorrelated streams regardless of creation order.
+    produce uncorrelated streams regardless of creation order. The label
+    is folded in with a stable digest — ``hash(str)`` is salted per
+    process (PYTHONHASHSEED), which would silently break cross-run
+    reproducibility.
     """
-    label_seed = abs(hash(key)) % (2**31)
+    label_seed = zlib.crc32(key.encode("utf-8")) % (2**31)
     child_seed = int(parent.integers(0, 2**31)) ^ label_seed
     return np.random.default_rng(child_seed)

@@ -56,7 +56,7 @@ def stamp_arrivals(
             f"{len(arrivals)} arrival times for {len(base.requests)} requests"
         )
     reqs = tuple(
-        replace(r, arrival_time=float(t)) for r, t in zip(base.requests, arrivals)
+        replace(r, arrival_time=float(t)) for r, t in zip(base.requests, arrivals, strict=True)
     )
     return WorkloadSpec(name=name or base.name, requests=reqs)
 
@@ -185,7 +185,9 @@ def _load_trace_timestamps(path: str | Path) -> list[float]:
         try:
             data = json.loads(p.read_text())
         except json.JSONDecodeError as exc:
-            raise ConfigurationError(f"arrival trace {p.name}: invalid JSON ({exc})")
+            raise ConfigurationError(
+                f"arrival trace {p.name}: invalid JSON ({exc})"
+            ) from exc
         if isinstance(data, dict):
             data = data.get("arrivals")
             if data is None:

@@ -63,7 +63,7 @@ def sharegpt_workload(
     outputs = np.clip(np.round(out_raw), 4, 2048).astype(int)
     reqs = tuple(
         Request(request_id=i, prompt_len=int(p), output_len=int(o))
-        for i, (p, o) in enumerate(zip(inputs, outputs))
+        for i, (p, o) in enumerate(zip(inputs, outputs, strict=True))
     )
     return WorkloadSpec(name="sharegpt", requests=reqs)
 
@@ -85,7 +85,7 @@ def arxiv_workload(num_requests: int = 500, seed: int | None = None) -> Workload
     )
     reqs = tuple(
         Request(request_id=i, prompt_len=int(p), output_len=int(o))
-        for i, (p, o) in enumerate(zip(inputs, outputs))
+        for i, (p, o) in enumerate(zip(inputs, outputs, strict=True))
     )
     return WorkloadSpec(name="arxiv-summarization", requests=reqs)
 

@@ -51,7 +51,7 @@ def uniform_workload(
     outputs = rng.integers(lo_o, hi_o + 1, size=num_requests)
     reqs = tuple(
         Request(request_id=i, prompt_len=int(p), output_len=int(o))
-        for i, (p, o) in enumerate(zip(prompts, outputs))
+        for i, (p, o) in enumerate(zip(prompts, outputs, strict=True))
     )
     return WorkloadSpec(name=name or "uniform", requests=reqs)
 

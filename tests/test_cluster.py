@@ -131,6 +131,7 @@ class TestGoldenEquivalence:
 
 
 class TestObservedJSQ:
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")  # uses the alias on purpose
     def test_never_picks_a_strictly_longer_queue(self, tiny_model, cluster_a10_4):
         """Property: every coupled-jsq dispatch goes to a replica whose
         observed queued-prefill depth is minimal at that instant."""

@@ -535,6 +535,7 @@ class TestFleetReport:
 
 
 class TestSimulatorFleetIntegration:
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")  # uses the alias on purpose
     def test_dispatch_log_tracks_membership_size(self, tiny_model, cluster_a10_4):
         """Queue snapshots in the dispatch log match the dispatchable
         membership at each decision, which may grow over the run."""

@@ -443,6 +443,7 @@ class TestReasonsAndAliases:
         assert "cluster.active_dp" in text
         assert "events:" in text
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")  # uses the alias on purpose
     def test_dispatch_log_alias_shape(self, tiny_model, cluster_a10_4):
         wl = poisson_arrivals(constant_workload(12, 256, 16), 4.0, seed=1)
         engine = VllmLikeEngine(
