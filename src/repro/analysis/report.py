@@ -292,6 +292,32 @@ def telemetry_table(tel, title: str | None = None) -> str:
     return table
 
 
+def critical_path_table(report, title: str | None = None) -> str:
+    """Segment-kind contributions across the latency tail of a trace set.
+
+    ``report`` is a :class:`~repro.obs.critical_path.TailReport` (from
+    :func:`~repro.obs.critical_path.aggregate_tail`): one row per
+    critical-path segment kind with the summed seconds the tail requests
+    spent in it and its share of the tail's total end-to-end time —
+    the additive attribution that tells you *where* the p99 lives.
+    Zero-second kinds are omitted.
+    """
+    rows = []
+    for kind, seconds in report.ranked():
+        if seconds <= 0:
+            continue
+        rows.append([kind, f"{seconds:.4f}", f"{report.share(kind) * 100:.1f}%"])
+    if not rows:
+        raise ConfigurationError("tail report attributes no time to any segment")
+    table = ascii_table(["segment", "seconds", "share"], rows, title=title)
+    table += (
+        f"\ntail: {report.num_tail}/{report.num_traces} traces with "
+        f"e2e >= p{report.percentile:g} = {report.threshold:.4f}s "
+        f"(total e2e {report.total_e2e:.4f}s)"
+    )
+    return table
+
+
 def latency_table(
     results: Mapping[str, EngineResult],
     title: str | None = None,

@@ -48,6 +48,10 @@ REGRESSION_TOLERANCE = 1.25
 # no calibration needed — the two runs share the machine).
 TELEMETRY_OVERHEAD_TOLERANCE = 1.10
 
+# ``--tracing-overhead`` has the same contract for the request tracer:
+# the coupled-JSQ cell with p99_exemplars tracing vs tracing off.
+TRACING_OVERHEAD_TOLERANCE = 1.10
+
 _BASELINE_PREFIX = "BENCH_"
 
 
@@ -94,17 +98,17 @@ def _cell_offline_static(scale: float):
     return lambda: eng.run(wl), "iterations"
 
 
-def _cell_coupled_jsq(scale: float, telemetry=None):
+def _cell_coupled_jsq(scale: float, telemetry=None, tracing=None):
     """Event-coupled JSQ dispatch on the shared clock (the reference
-    cell of the event-path speedup criterion and of the telemetry
-    overhead gate)."""
+    cell of the event-path speedup criterion and of the telemetry and
+    tracing overhead gates)."""
     n = max(16, int(2000 * scale))
     wl = poisson_arrivals(sharegpt_workload(num_requests=n, seed=7), rate_rps=8.0, seed=7)
     eng = VllmLikeEngine(
         get_model("15b"),
         make_cluster("A10", 8),
         ParallelConfig(dp=4, tp=2, pp=1),
-        EngineOptions(router="jsq", coupled=True, telemetry=telemetry),
+        EngineOptions(router="jsq", coupled=True, telemetry=telemetry, tracing=tracing),
     )
     return lambda: eng.run(wl), "iterations"
 
@@ -230,6 +234,41 @@ def run_telemetry_overhead(scale: float = 1.0, repeats: int = 5) -> dict:
     }
 
 
+def run_tracing_overhead(scale: float = 1.0, repeats: int = 5) -> dict:
+    """Tracing-on vs tracing-off wall time on the coupled-JSQ cell.
+
+    Same protocol as :func:`run_telemetry_overhead` — interleaved
+    off/on rounds in one process, min-of-``repeats`` walls, a fresh
+    engine and tracer per repetition — gating the tracer's cost
+    contract at :data:`TRACING_OVERHEAD_TOLERANCE`. The instrumented
+    side runs the ``p99_exemplars`` sampling mode (the always-on
+    production posture: marks for everyone, trace trees only for the
+    tail).
+    """
+    from repro.obs import Tracer
+
+    def one_wall(make_tracer) -> float:
+        runner, _ = _cell_coupled_jsq(scale, tracing=make_tracer())
+        t0 = time.perf_counter()
+        runner()
+        return time.perf_counter() - t0
+
+    off = on = float("inf")
+    for _ in range(repeats):
+        off = min(off, one_wall(lambda: None))
+        on = min(on, one_wall(lambda: Tracer("p99_exemplars")))
+    ratio = on / off if off > 0 else 1.0
+    return {
+        "cell": "coupled_jsq",
+        "sampling": "p99_exemplars",
+        "off_wall_s": round(off, 4),
+        "on_wall_s": round(on, 4),
+        "overhead_ratio": round(ratio, 4),
+        "tolerance": TRACING_OVERHEAD_TOLERANCE,
+        "ok": ratio <= TRACING_OVERHEAD_TOLERANCE,
+    }
+
+
 def baseline_path(directory: Path, cell: str) -> Path:
     return directory / f"{_BASELINE_PREFIX}{cell}.json"
 
@@ -263,8 +302,8 @@ def check_measurement(measurement: dict, baseline: dict, calib_s: float) -> tupl
 
 def cmd_bench(args: argparse.Namespace) -> int:
     directory = Path(args.baseline_dir) if args.baseline_dir else default_baseline_dir()
-    if args.telemetry_overhead and args.cells is None:
-        names = []  # the overhead gate alone, unless cells were asked for
+    if (args.telemetry_overhead or args.tracing_overhead) and args.cells is None:
+        names = []  # the overhead gates alone, unless cells were asked for
     else:
         names = args.cells or list(CELLS)
     unknown = [n for n in names if n not in CELLS]
@@ -333,6 +372,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
             )
         if not overhead["ok"]:
             failed.append("telemetry_overhead")
+    if args.tracing_overhead:
+        if args.scale != 1.0:
+            print("tracing overhead gate requires --scale 1", file=sys.stderr)
+            return 2
+        overhead = run_tracing_overhead()
+        verdict = "ok" if overhead["ok"] else "FAIL"
+        print(
+            f"tracing_overhead     off={overhead['off_wall_s']:.3f}s "
+            f"on={overhead['on_wall_s']:.3f}s "
+            f"ratio={overhead['overhead_ratio']:.3f} "
+            f"[{verdict}: tolerance {overhead['tolerance']}]"
+        )
+        if args.json:
+            out = Path(args.json)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / "BENCH_tracing_overhead.json").write_text(
+                json.dumps(overhead, indent=2, sort_keys=True) + "\n"
+            )
+        if not overhead["ok"]:
+            failed.append("tracing_overhead")
     if profile_dir is not None:
         print(f"profiles written under {profile_dir}/")
     if failed:
@@ -392,5 +451,13 @@ def add_bench_parser(sub) -> None:
         "with telemetry off and on, fail (exit 1) when the instrumented "
         f"run exceeds {TELEMETRY_OVERHEAD_TOLERANCE}x the zero-overhead "
         "run; on its own it skips the normal cells",
+    )
+    p.add_argument(
+        "--tracing-overhead",
+        action="store_true",
+        help="gate the tracing cost contract: time the coupled-JSQ cell "
+        "with tracing off and with --tracing p99_exemplars, fail (exit 1) "
+        f"when the instrumented run exceeds {TRACING_OVERHEAD_TOLERANCE}x "
+        "the zero-overhead run; on its own it skips the normal cells",
     )
     p.set_defaults(func=cmd_bench)

@@ -1,6 +1,14 @@
-"""Correctness tooling: the simlint determinism linter and the simsan
-shared-clock invariant sanitizer (``repro check lint`` / ``--sanitize``)."""
+"""Correctness tooling: the simlint determinism linter, the simsan
+shared-clock invariant sanitizer, and the pinned golden-cell checker
+(``repro check lint`` / ``repro check goldens`` / ``--sanitize``)."""
 
+from repro.check.goldens import (
+    GOLDEN_SEED,
+    GoldenOutcome,
+    golden_scenarios,
+    render_goldens_table,
+    run_goldens,
+)
 from repro.check.lint import LintReport, lint_paths, lint_source
 from repro.check.rules import ALL_RULES, RULES_BY_ID
 from repro.check.rules.base import Finding

@@ -8,7 +8,10 @@ Commands:
 - ``reproduce``— regenerate a named paper artifact (fig1, fig4, ...).
 - ``predict``  — analytic rates for a configuration (no simulation).
 - ``obs``      — render the telemetry dashboard from a JSONL artifact or
-  a live (re-)run with telemetry enabled.
+  a live (re-)run with telemetry enabled (``--follow`` tails a growing
+  artifact).
+- ``trace``    — per-request critical-path report from a repro-trace-v1
+  artifact or a live run with tracing enabled.
 
 All commands are deterministic given ``--seed``.
 """
@@ -213,6 +216,35 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_tracing_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tracing",
+        default=None,
+        metavar="MODE",
+        help="record per-request span trees with critical-path latency "
+        "attribution on the virtual clock; MODE selects which requests "
+        "keep a trace: all | slo_miss (only SLO violators; needs "
+        "--ttft-slo and/or --tpot-slo) | p99_exemplars (the worst 1% by "
+        "e2e) | rate:<f> (deterministic f-fraction sample). Off by "
+        "default — the instrumented loops stay bit-exact without it",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the recorded traces to PATH as repro-trace-v1 JSONL; "
+        "implies --tracing all unless --tracing is given",
+    )
+    parser.add_argument(
+        "--trace-chrome",
+        default=None,
+        metavar="PATH",
+        help="also export the traces as Chrome trace-event JSON (load in "
+        "Perfetto / chrome://tracing); implies --tracing all unless "
+        "--tracing is given",
+    )
+
+
 def _arrival_kind(value: str) -> str:
     """argparse type for --arrival: a named process, diurnal:<period> or
     trace:<path>."""
@@ -361,6 +393,55 @@ def _make_telemetry(args: argparse.Namespace):
     return Telemetry(interval_s=args.telemetry_interval)
 
 
+def _make_tracer(args: argparse.Namespace):
+    """The request tracer the CLI flags ask for, or ``None`` (the default
+    — the zero-overhead path). ``--trace-out``/``--trace-chrome`` imply
+    ``--tracing all``."""
+    sampling = getattr(args, "tracing", None)
+    if sampling is None:
+        if not (
+            getattr(args, "trace_out", None) or getattr(args, "trace_chrome", None)
+        ):
+            return None
+        sampling = "all"
+    from repro.obs import Tracer, parse_sampling
+
+    mode, _ = parse_sampling(sampling)  # validates the mode early
+    if mode == "slo_miss" and args.ttft_slo is None and args.tpot_slo is None:
+        raise ConfigurationError(
+            "--tracing slo_miss needs --ttft-slo and/or --tpot-slo: an SLO "
+            "miss is only defined against a configured SLO"
+        )
+    return Tracer(sampling)
+
+
+def _report_traces(tracer, args: argparse.Namespace) -> None:
+    """Post-run trace reporting/export shared by run and trace --live."""
+    from repro.analysis.report import critical_path_table
+    from repro.obs import aggregate_tail, write_chrome_trace, write_trace_jsonl
+
+    traces = tracer.traces
+    print()
+    if not traces:
+        print(
+            f"tracing: 0 of {tracer.num_requests} requests sampled "
+            f"(mode {tracer.sampling})"
+        )
+    else:
+        print(
+            f"tracing: {len(traces)} of {tracer.num_requests} requests "
+            f"traced (mode {tracer.sampling})"
+        )
+        report = aggregate_tail(traces, percentile=99.0)
+        print(critical_path_table(report, title="critical path (p99 tail)"))
+    if getattr(args, "trace_out", None):
+        n = write_trace_jsonl(tracer, args.trace_out)
+        print(f"{n} traces written to {args.trace_out}")
+    if getattr(args, "trace_chrome", None):
+        n = write_chrome_trace(traces, args.trace_chrome)
+        print(f"chrome trace ({n} events) written to {args.trace_chrome}")
+
+
 def _export_telemetry(tel, path: str) -> None:
     from repro.obs import write_csv, write_jsonl
 
@@ -371,7 +452,12 @@ def _export_telemetry(tel, path: str) -> None:
     print(f"telemetry written to {path}")
 
 
-def _build_engine(args: argparse.Namespace, objective: ServingObjective, telemetry=None):
+def _build_engine(
+    args: argparse.Namespace,
+    objective: ServingObjective,
+    telemetry=None,
+    tracer=None,
+):
     """One engine from the shared run/obs flag set (static or transition)."""
     model = get_model(args.model)
     cluster = make_cluster(args.gpu, args.num_gpus)
@@ -388,6 +474,7 @@ def _build_engine(args: argparse.Namespace, objective: ServingObjective, telemet
         "min_dp": args.min_dp,
         "max_dp": args.max_dp,
         "telemetry": telemetry,
+        "tracing": tracer,
         "sanitize": _make_sanitizer(args),
     }
     if "->" in args.config:
@@ -410,7 +497,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     workload = _make_workload(args)
     objective = _serving_objective(args, workload)
     tel = _make_telemetry(args)
-    engine = _build_engine(args, objective, telemetry=tel)
+    tracer = _make_tracer(args)
+    engine = _build_engine(args, objective, telemetry=tel, tracer=tracer)
     result = engine.run(workload)
     _print_result(result, ttft_slo=args.ttft_slo, tpot_slo=args.tpot_slo)
     san = engine.options.sanitize
@@ -421,15 +509,52 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(telemetry_table(tel, title="telemetry"))
         if args.telemetry_out:
             _export_telemetry(tel, args.telemetry_out)
+    if tracer is not None:
+        _report_traces(tracer, args)
     if args.timeline and engine.last_trace.enabled:
         print()
         print(render_timeline(engine.last_trace))
     return 0
 
 
+def _obs_follow(args: argparse.Namespace) -> int:
+    """Tail a growing telemetry JSONL: re-render the dashboard every
+    ``--poll`` seconds until interrupted (``--once`` renders one frame
+    and exits — the CI escape hatch)."""
+    import time
+
+    from repro.obs import load_jsonl, render_dashboard
+
+    if args.artifact is None:
+        raise ConfigurationError(
+            "repro obs --follow needs a JSONL artifact path to tail (the "
+            "file a concurrent run is writing with --telemetry-out)"
+        )
+    try:
+        while True:
+            try:
+                tel = load_jsonl(args.artifact)
+                frame = render_dashboard(tel, width=args.width, top=args.top)
+            except (ReproError, OSError) as exc:
+                frame = f"waiting for {args.artifact}: {exc}\n"
+            if not args.once:
+                # ANSI clear + home keeps the dashboard in place like
+                # watch(1) instead of scrolling a frame per poll.
+                sys.stdout.write("\x1b[2J\x1b[H")
+            sys.stdout.write(frame)
+            sys.stdout.flush()
+            if args.once:
+                return 0
+            time.sleep(args.poll)
+    except KeyboardInterrupt:
+        return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import load_jsonl, render_dashboard
 
+    if args.follow or args.once:
+        return _obs_follow(args)
     if args.artifact is not None:
         tel = load_jsonl(args.artifact)
     elif args.live:
@@ -448,6 +573,71 @@ def cmd_obs(args: argparse.Namespace) -> int:
             "--telemetry-out) or --live to simulate one now"
         )
     print(render_dashboard(tel, width=args.width, top=args.top), end="")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.report import critical_path_table
+    from repro.obs import (
+        aggregate_tail,
+        load_trace_jsonl,
+        render_trace_flame,
+        write_chrome_trace,
+    )
+
+    if args.artifact is not None:
+        artifact = load_trace_jsonl(args.artifact)
+        traces = artifact.traces
+        sampling = artifact.sampling
+        num_requests = artifact.num_requests
+        dropped = artifact.dropped_requests
+    elif args.live:
+        workload = _make_workload(args)
+        objective = _serving_objective(args, workload)
+        tracer = _make_tracer(args)
+        if tracer is None:
+            from repro.obs import Tracer
+
+            tracer = Tracer("all")
+        engine = _build_engine(args, objective, tracer=tracer)
+        engine.run(workload)
+        if args.trace_out:
+            from repro.obs import write_trace_jsonl
+
+            n = write_trace_jsonl(tracer, args.trace_out)
+            print(f"{n} traces written to {args.trace_out}")
+        traces = tracer.traces
+        sampling = tracer.sampling
+        num_requests = tracer.num_requests
+        dropped = tracer.dropped_requests
+    else:
+        raise ConfigurationError(
+            "repro trace needs a repro-trace-v1 JSONL artifact path (from a "
+            "run with --trace-out) or --live to simulate one now"
+        )
+    line = (
+        f"{len(traces)} of {num_requests} requests traced (mode {sampling})"
+    )
+    if dropped:
+        line += f", {dropped} dropped at the trace cap"
+    print(line)
+    if not traces:
+        return 0
+    report = aggregate_tail(traces, percentile=args.percentile)
+    print()
+    print(
+        critical_path_table(
+            report, title=f"critical path (p{args.percentile:g} tail)"
+        )
+    )
+    worst = sorted(traces, key=lambda t: (-t.e2e, t.request_id))[: args.top]
+    for trace in worst:
+        print()
+        print(render_trace_flame(trace, width=args.width))
+    if args.export_chrome:
+        n = write_chrome_trace(traces, args.export_chrome)
+        print()
+        print(f"chrome trace ({n} events) written to {args.export_chrome}")
     return 0
 
 
@@ -656,6 +846,26 @@ def cmd_check_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def cmd_check_goldens(args: argparse.Namespace) -> int:
+    from repro.check.goldens import GOLDEN_SEED, render_goldens_table, run_goldens
+
+    known = sorted(GOLDEN_SEED)
+    if args.list:
+        for name in known:
+            print(name)
+        return 0
+    names = tuple(args.names) if args.names else None
+    if names:
+        unknown = [n for n in names if n not in GOLDEN_SEED]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown golden scenario(s) {unknown}; one of {known}"
+            )
+    outcomes = run_goldens(names)
+    print(render_goldens_table(outcomes))
+    return 0 if all(o.passed for o in outcomes) else 1
+
+
 def cmd_reproduce(args: argparse.Namespace) -> int:
     from repro import experiments as ex
 
@@ -708,6 +918,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline", action="store_true", help="print the schedule timeline"
     )
     _add_telemetry_flags(p_run)
+    _add_tracing_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_obs = sub.add_parser(
@@ -730,10 +941,75 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument(
         "--top", type=int, default=3, help="worst windows to list (default 3)"
     )
+    p_obs.add_argument(
+        "--follow",
+        action="store_true",
+        help="live-tail the artifact: re-render the dashboard every "
+        "--poll seconds as the JSONL grows (Ctrl-C to stop)",
+    )
+    p_obs.add_argument(
+        "--poll",
+        type=float,
+        default=2.0,
+        help="seconds between --follow re-renders (default 2)",
+    )
+    p_obs.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single --follow frame and exit (CI-friendly: no "
+        "screen clearing, no loop)",
+    )
     _add_common(p_obs)
     _add_engine_flags(p_obs)
     _add_telemetry_flags(p_obs)
     p_obs.set_defaults(func=cmd_obs)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="per-request critical-path report from a trace artifact or "
+        "live run",
+    )
+    p_trace.add_argument(
+        "artifact",
+        nargs="?",
+        default=None,
+        help="repro-trace-v1 JSONL written by run --trace-out (omit with "
+        "--live to simulate now)",
+    )
+    p_trace.add_argument(
+        "--live",
+        action="store_true",
+        help="run the configured cell with tracing enabled and report on "
+        "its traces (accepts every `repro run` flag; defaults to "
+        "--tracing all)",
+    )
+    p_trace.add_argument(
+        "--top",
+        type=int,
+        default=3,
+        help="worst requests to render as flame views (default 3)",
+    )
+    p_trace.add_argument(
+        "--percentile",
+        type=float,
+        default=99.0,
+        help="tail percentile for the critical-path aggregation "
+        "(default 99)",
+    )
+    p_trace.add_argument(
+        "--width", type=int, default=64, help="flame-view bar width"
+    )
+    p_trace.add_argument(
+        "--export-chrome",
+        default=None,
+        metavar="PATH",
+        help="export the loaded traces as Chrome trace-event JSON "
+        "(Perfetto / chrome://tracing)",
+    )
+    _add_common(p_trace)
+    _add_engine_flags(p_trace)
+    _add_tracing_flags(p_trace)
+    p_trace.set_defaults(func=cmd_trace)
 
     p_cmp = sub.add_parser("compare", help="vLLM-best vs Seesaw-best")
     _add_common(p_cmp)
@@ -751,7 +1027,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.set_defaults(func=cmd_predict)
 
     p_check = sub.add_parser(
-        "check", help="correctness tooling: determinism linter (simlint)"
+        "check",
+        help="correctness tooling: determinism linter (simlint), pinned "
+        "golden cells",
     )
     check_sub = p_check.add_subparsers(dest="check_command", required=True)
     p_lint = check_sub.add_parser(
@@ -792,6 +1070,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all), e.g. R1,R3",
     )
     p_lint.set_defaults(func=cmd_check_lint)
+    p_gold = check_sub.add_parser(
+        "goldens",
+        help="re-run the pinned golden cells and diff against the seed",
+        description="Re-runs the seed-pinned offline scenarios (all four "
+        "engines, plus the DP and chunked-prefill paths) and compares "
+        "total/phase times bit-exactly against the golden literals; "
+        "exits non-zero on any mismatch.",
+    )
+    p_gold.add_argument(
+        "names",
+        nargs="*",
+        help="scenario names to run (default: all; see --list)",
+    )
+    p_gold.add_argument(
+        "--list", action="store_true", help="list scenario names and exit"
+    )
+    p_gold.set_defaults(func=cmd_check_goldens)
 
     p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
     p_repro.add_argument(

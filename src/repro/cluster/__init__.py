@@ -26,7 +26,8 @@ system model:
   decision instant.
 - :mod:`repro.cluster.autoscaler` — pluggable scaling policies on the
   shared clock (``none`` / ``threshold`` / ``predictive`` Erlang-C
-  right-sizing), driving the fleet through ``EngineOptions.autoscaler``.
+  right-sizing / ``threshold:burn_rate`` SLO burn-rate fast path),
+  driving the fleet through ``EngineOptions.autoscaler``.
 
 Enabled with ``EngineOptions(coupled=True)`` / the ``--coupled`` CLI
 flag; the ``static`` policy with ``autoscaler="none"`` stays bit-exact
@@ -36,6 +37,7 @@ with the decoupled path on offline workloads.
 from repro.cluster.autoscaler import (
     AUTOSCALER_POLICIES,
     Autoscaler,
+    BurnRateThresholdAutoscaler,
     PredictiveAutoscaler,
     ThresholdAutoscaler,
     make_autoscaler,
@@ -47,6 +49,7 @@ from repro.cluster.simulator import ClusterSimulator
 __all__ = [
     "AUTOSCALER_POLICIES",
     "Autoscaler",
+    "BurnRateThresholdAutoscaler",
     "ClusterSimulator",
     "ObservedLoad",
     "PredictiveAutoscaler",

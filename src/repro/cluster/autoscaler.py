@@ -20,6 +20,11 @@ Policies:
   smallest replica count whose Erlang-C wait keeps the predicted TTFT
   attainment above target (utilization below ``max_utilization`` when no
   TTFT SLO is configured).
+- ``threshold:burn_rate`` — the threshold rules plus an SLO burn-rate
+  fast path: requests already waiting long enough that their TTFT is a
+  *guaranteed* miss burn error budget now, a window before queued tokens
+  pile past the depth threshold — so the scale-up fires one evaluation
+  earlier under a rising diurnal edge.
 """
 
 from __future__ import annotations
@@ -34,7 +39,12 @@ from repro.errors import ConfigurationError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.fleet import ReplicaFleet
 
-AUTOSCALER_POLICIES = ("none", "threshold", "predictive")
+AUTOSCALER_POLICIES = ("none", "threshold", "predictive", "threshold:burn_rate")
+
+# Error budget of the burn-rate signal: the fraction of requests allowed
+# to miss the TTFT SLO (matches the telemetry SLO attainment target of
+# 99%). Burn rate 1.0 = spending the budget exactly as fast as allowed.
+BURN_RATE_SLO_BUDGET = 0.01
 
 # Default seconds between autoscaler evaluations (and the observation
 # window of the threshold policy's idle signal).
@@ -172,6 +182,100 @@ class ThresholdAutoscaler(Autoscaler):
         return None
 
 
+class BurnRateThresholdAutoscaler(ThresholdAutoscaler):
+    """Threshold scaling with an SLO burn-rate scale-up fast path.
+
+    The queue-depth rule only fires once a *full prefill budget* of
+    tokens has piled up per replica; on a rising arrival edge that takes
+    an extra evaluation window during which requests are already
+    doomed to miss their TTFT SLO. This policy reads the same windowed
+    burn rate the telemetry SLO report surfaces: count the queued
+    requests whose TTFT is already a guaranteed miss — they have waited
+    so long that even an immediate prefill lands past the SLO — and
+    divide by the window's arrivals and the error budget. Burn above 1.0
+    means the fleet is spending error budget faster than the SLO target
+    permits, and the policy scales up immediately instead of waiting for
+    the queue-depth threshold; otherwise it defers to the plain
+    threshold rules (including scale-down).
+    """
+
+    name = "threshold:burn_rate"
+
+    def __init__(
+        self,
+        min_dp: int,
+        max_dp: int,
+        *,
+        up_queue_tokens: float,
+        ttft_slo: float,
+        prefill_latency_s: float = 0.0,
+        slo_budget: float = BURN_RATE_SLO_BUDGET,
+        down_idle_fraction: float = 0.6,
+        interval_s: float = DEFAULT_EVAL_INTERVAL_S,
+    ) -> None:
+        super().__init__(
+            min_dp,
+            max_dp,
+            up_queue_tokens=up_queue_tokens,
+            down_idle_fraction=down_idle_fraction,
+            interval_s=interval_s,
+        )
+        if ttft_slo is None or ttft_slo <= 0:
+            raise ConfigurationError(
+                "threshold:burn_rate needs a positive TTFT SLO"
+            )
+        if not 0 < slo_budget < 1:
+            raise ConfigurationError("slo_budget must be in (0, 1)")
+        self.ttft_slo = ttft_slo
+        self.prefill_latency_s = prefill_latency_s
+        self.slo_budget = slo_budget
+        self._arrivals: deque[float] = deque()
+
+    def note_arrival(self, now: float) -> None:
+        window = self._arrivals
+        window.append(now)
+        cutoff = now - self.interval_s
+        while window and window[0] < cutoff:
+            window.popleft()
+
+    def _guaranteed_misses(self, now: float, fleet: "ReplicaFleet") -> int:
+        """Queued requests whose TTFT is already unattainable: even an
+        immediate prefill at the analytic latency lands past the SLO."""
+        misses = 0
+        slack = self.ttft_slo - self.prefill_latency_s
+        for h in fleet.active_handles():
+            sim = h.sim
+            # The fluid fleet models no per-request queues (its replicas
+            # answer for themselves and carry only drain horizons); the
+            # burn-rate signal degrades to the plain threshold rules.
+            run = getattr(sim, "run", None)
+            if run is None:
+                continue
+            state = run.state
+            for seq in list(state.pending) + list(state.waiting):
+                t = seq.first_schedule_time
+                if t == t:  # already scheduled: TTFT is decided elsewhere
+                    continue
+                if now - seq.arrival_time > slack:
+                    misses += 1
+        return misses
+
+    def target_dp(self, now: float, fleet: "ReplicaFleet") -> int | None:
+        misses = self._guaranteed_misses(now, fleet)
+        if misses:
+            arrivals = max(1, len(self._arrivals))
+            burn = misses / arrivals / self.slo_budget
+            if burn > 1.0:
+                committed = fleet.target_count
+                self.last_reason = (
+                    f"slo burn rate {burn:.1f}x budget ({misses} guaranteed "
+                    f"ttft misses / {arrivals} arrivals in "
+                    f"{self.interval_s:.0f}s window) -> dp {committed + 1}"
+                )
+                return committed + 1
+        return super().target_dp(now, fleet)
+
+
 class PredictiveAutoscaler(Autoscaler):
     """Erlang-C right-sizing from the measured recent arrival rate.
 
@@ -287,6 +391,20 @@ def make_autoscaler(
             min_dp,
             max_dp,
             up_queue_tokens=up_queue_tokens,
+            interval_s=interval_s,
+        )
+    if policy == "threshold:burn_rate":
+        if ttft_slo is None:
+            raise ConfigurationError(
+                "autoscaler 'threshold:burn_rate' needs --ttft-slo: the "
+                "burn-rate signal is defined against a TTFT budget"
+            )
+        return BurnRateThresholdAutoscaler(
+            min_dp,
+            max_dp,
+            up_queue_tokens=up_queue_tokens,
+            ttft_slo=ttft_slo,
+            prefill_latency_s=prefill_latency_s,
             interval_s=interval_s,
         )
     if policy == "predictive":

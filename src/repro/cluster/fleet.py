@@ -390,6 +390,17 @@ class ReplicaFleet:
         """Latest instant any replica's simulation reached."""
         return max((sim.clock for sim in self.sims()), default=0.0)
 
+    def warming_windows(self) -> tuple[tuple[int, float, float], ...]:
+        """``(replica_id, created_at, active_at)`` for every replica that
+        paid a provision/warm latency — the windows the tracer overlaps
+        with request waits to attribute them to fleet warm-up. Prewarmed
+        t=0 replicas have zero-width windows and are excluded."""
+        return tuple(
+            (h.replica_id, h.created_at, h.active_at)
+            for h in self.handles
+            if h.active_at > h.created_at + _EPS
+        )
+
     def idle_fractions(self, makespan: float) -> tuple[float, ...]:
         """Idle fraction per handle, normalized by its *active window*.
 

@@ -493,6 +493,7 @@ class FluidSimulator:
         arrivals_end = reqs[order[-1]].arrival_time if order else 0.0
         tpot, tpot_drain = self._tpot_now = self._tpot(0.0)
         tel = self.telemetry
+        trc = self.engine.options.tracing
         sample_step = 0.0
         if tel is not None:
             # Widened sample grid: a full day of arrivals still exports at
@@ -532,6 +533,8 @@ class FluidSimulator:
                     self._sample(tel, t)
             k = self._select(i, now)
             replica = active[k]
+            if trc is not None:
+                trc.note_dispatch(now, req.request_id, replica.replica_id)
             ready = replica.ready
             if ready < now:
                 # Idle only once the decode tail has drained too — a
@@ -608,6 +611,15 @@ class FluidSimulator:
             # Close out the timeline through the drain tail.
             for t in tel.boundaries("cluster", makespan, sample_step):
                 self._sample(tel, t)
+
+        if trc is not None:
+            trc.set_warming_windows(
+                tuple(
+                    (r.replica_id, r.created_at, r.active_at)
+                    for r in self.replicas
+                    if r.active_at > r.created_at
+                )
+            )
 
         records = tuple(
             RequestLatency(

@@ -134,6 +134,10 @@ class ClusterSimulator:
 
             tel = Telemetry()
         self.telemetry = tel
+        # Per-request tracer (repro.obs.Tracer); None keeps the dispatch
+        # loop on its exact untraced instruction path (same contract as
+        # telemetry).
+        self.tracing = options.tracing
         self._dispatch_log_warned = False
 
     @property
@@ -301,6 +305,9 @@ class ClusterSimulator:
                 trace_armed = False
             if san is not None:
                 san.note_dispatch(req, rid, now)
+            trc = self.tracing
+            if trc is not None:
+                trc.note_dispatch(now, req.request_id, rid)
             sim.inject(req)
             sim.note_queue_depth(now)
             if use_heap:
@@ -331,6 +338,9 @@ class ClusterSimulator:
                 san.check_drained(sim.replica_id, sim.run.state, sim.clock)
         if traced_sim is not None:
             self.engine.last_trace = traced_sim.run.trace
+        trc = self.tracing
+        if trc is not None:
+            trc.set_warming_windows(fleet.warming_windows())
 
         makespan = fleet.makespan()
         if tel is not None:
@@ -409,6 +419,10 @@ class ClusterSimulator:
                     # S5: ownership moves src -> target exactly once.
                     san.note_withdraw(req, src.replica_id, now)
                     san.note_dispatch(req, rid, now)
+                trc = self.tracing
+                if trc is not None:
+                    trc.note_withdraw(now, req.request_id, src.replica_id)
+                    trc.note_redispatch(now, req.request_id, rid)
                 target.inject(req)
                 target.note_queue_depth(now)
                 target.redispatched_in += 1

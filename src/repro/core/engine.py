@@ -292,10 +292,13 @@ class SeesawEngine(BaseEngine):
             processed_any = True
 
             swap_tokens = 0
+            tr = self.options.tracing
             for seq in microbatch:
                 seq.advance_prefill(seq.remaining_prefill)
                 seq.prefill_end_time = now
                 seq.mark_first_token(now)
+                if tr is not None:
+                    tr.note_resume(now, seq.seq_id)
                 if seq.remaining_decode == 0:
                     # Prefill produced the only requested token; no reason
                     # to park the KV for a decode that will never happen.
@@ -394,9 +397,12 @@ class SeesawEngine(BaseEngine):
         while True:
             state.admit_arrivals(now)
             now = self._launch_prefetches(state, costs, metrics, now)
+            tr = self.options.tracing
             for seq in state.arrived_inflight(now):
                 seq.state = SequenceState.RUNNING
                 state.start_running(seq)
+                if tr is not None:
+                    tr.note_resume(now, seq.seq_id)
             state.finish_ready(now)
 
             if not state.running:
@@ -491,9 +497,14 @@ class SeesawEngine(BaseEngine):
             swap_t = self._decode_costs().kv_swap_time(tokens)
             state.d2h.submit(now, swap_t)
             metrics.swapped_out_tokens += tokens
+            stall_kind = "swap"
         else:
             victim.preempt_recompute()
             state.waiting.appendleft(victim)
+            stall_kind = "recompute"
+        tr = self.options.tracing
+        if tr is not None:
+            tr.note_preempt(now, victim.seq_id, stall_kind)
 
     # ------------------------------------------------------------------ #
     # Ablation: no CPU buffer (re-sharding with decode-prioritized batches)
@@ -553,6 +564,10 @@ class SeesawEngine(BaseEngine):
                 seq.prefill_end_time = now
                 seq.mark_first_token(now)
                 state.start_running(seq)
+            tr = self.options.tracing
+            if tr is not None:
+                for seq in admitted:
+                    tr.note_resume(now, seq.seq_id)
             state.finish_ready(now)
             now, run.current = self._reshard(
                 now, run.current, cd, costs_d, metrics, state

@@ -120,11 +120,21 @@ class EngineOptions:
     # (the default) keeps every loop on its exact unsanitized instruction
     # path — the same bit-exactness contract as telemetry.
     sanitize: object | None = None
+    # Per-request trace collector (repro.obs.Tracer) recording life-cycle
+    # marks (dispatch, storm withdraw/re-dispatch, preempt/resume, KV
+    # handoff) and deriving span trees + critical paths at finalize. None
+    # (the default) keeps every loop on its exact untraced instruction
+    # path — the same bit-exactness contract as telemetry.
+    tracing: object | None = None
 
     def __post_init__(self) -> None:
         if self.telemetry is not None and not hasattr(self.telemetry, "probe"):
             raise ConfigurationError(
                 "telemetry must be a repro.obs.Telemetry hub (or None)"
+            )
+        if self.tracing is not None and not hasattr(self.tracing, "finalize"):
+            raise ConfigurationError(
+                "tracing must be a repro.obs.Tracer (or None)"
             )
         if self.sanitize is not None:
             if not hasattr(self.sanitize, "note_transition"):
@@ -475,6 +485,13 @@ class BaseEngine(abc.ABC):
             return self._fold_telemetry(result)
         plan = self.make_router(requests).route(requests)
         parts = [list(p) for p in plan.partitions]
+        tr = self.options.tracing
+        if tr is not None:
+            # Decoupled routing dispatches every arrival up front, at its
+            # arrival instant, to the partition the plan chose.
+            for i, part in enumerate(parts):
+                for req in part:
+                    tr.note_dispatch(req.arrival_time, req.request_id, i)
         # Trace the first non-empty partition (partition 0 can be empty
         # when there are fewer requests than replicas).
         trace_part = next((i for i, p in enumerate(parts) if p), None)
@@ -501,6 +518,15 @@ class BaseEngine(abc.ABC):
             tel.fold_result(
                 result, ttft_slo=self.options.ttft_slo, tpot_slo=self.options.tpot_slo
             )
+        tr = self.options.tracing
+        if tr is not None:
+            traces = tr.finalize(
+                result, ttft_slo=self.options.ttft_slo, tpot_slo=self.options.tpot_slo
+            )
+            if tel is not None:
+                tel.counter("trace.requests_traced").inc(len(traces))
+                if tr.dropped_requests:
+                    tel.counter("trace.requests_dropped").inc(tr.dropped_requests)
         return result
 
     def label(self) -> str:
@@ -825,3 +851,6 @@ class BaseEngine(abc.ABC):
         victim.num_preemptions += 1
         metrics.preemptions += 1
         state.waiting.appendleft(victim)
+        tr = self.options.tracing
+        if tr is not None:
+            tr.note_preempt(now, victim.seq_id, "recompute")

@@ -71,6 +71,10 @@ class DecodePrioritizedEngine(BaseEngine):
                     seq.prefill_end_time = now
                     seq.mark_first_token(now)
                     state.start_running(seq)
+                tr = self.options.tracing
+                if tr is not None:
+                    for seq in batch:
+                        tr.note_resume(now, seq.seq_id)
                 state.finish_ready(now)
                 if not state.running:
                     metrics.transitions += 1  # the decode stage was trivial

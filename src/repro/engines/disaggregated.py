@@ -227,9 +227,9 @@ class DisaggregatedEngine:
             self.plan.decode_config,
             # The pool run is an internal building block (called more than
             # once per disaggregated run); only the joint result folds into
-            # the telemetry hub, in :meth:`run`.
-            replace(self.options, telemetry=None)
-            if self.options.telemetry is not None
+            # the telemetry hub / tracer, in :meth:`run`.
+            replace(self.options, telemetry=None, tracing=None)
+            if self.options.telemetry is not None or self.options.tracing is not None
             else self.options,
         )
         return engine.run(workload)
@@ -344,6 +344,9 @@ class DisaggregatedEngine:
         """
         pool_plan = self._prefill_pool_plan(workload)
         latency, gated_decode, prefill_busy = self._joint_latency(workload, pool_plan)
+        tr = self.options.tracing
+        if tr is not None:
+            self._note_trace_marks(tr, pool_plan, latency, gated_decode)
         online = any(r.arrival_time > 0 for r in workload.requests)
         if online:
             phase = dict(gated_decode.phase_time)
@@ -398,10 +401,51 @@ class DisaggregatedEngine:
             router=decode_result.router,
         ))
 
+    def _note_trace_marks(
+        self,
+        tr,
+        pool_plan: RoutingPlan,
+        latency: LatencyStats,
+        gated_decode: EngineResult,
+    ) -> None:
+        """Record dispatch + KV-handoff marks for the joint pipeline run.
+
+        Prefill-pool replicas are tracks ``0..dp_p-1``; the decode pool is
+        track ``dp_p``. The handoff happens at prefill completion (=first
+        token); the decode pool's admission time bounds the transfer-wait
+        segment when the gated run recorded one.
+        """
+        dp_p = self.plan.prefill_config.dp
+        prefill_replica: dict[int, int] = {}
+        for i, part in enumerate(pool_plan.partitions):
+            for r in part:
+                prefill_replica[r.request_id] = i
+        decode_sched: dict[int, float] = {}
+        if gated_decode.latency is not None:
+            decode_sched = {
+                r.request_id: r.first_schedule_time
+                for r in gated_decode.latency.records
+            }
+        for rec in latency.records:
+            rid = rec.request_id
+            src = prefill_replica.get(rid, 0)
+            tr.note_dispatch(rec.arrival_time, rid, src)
+            done = rec.first_token_time
+            tr.note_handoff(done, rid, src, dp_p, until=decode_sched.get(rid))
+
     def _fold_telemetry(self, result: EngineResult) -> EngineResult:
         tel = self.options.telemetry
         if tel is not None:
             tel.fold_result(
                 result, ttft_slo=self.options.ttft_slo, tpot_slo=self.options.tpot_slo
             )
+        tr = self.options.tracing
+        if tr is not None:
+            traces = tr.finalize(
+                result, ttft_slo=self.options.ttft_slo, tpot_slo=self.options.tpot_slo
+            )
+            if tel is not None:
+                tel.counter("trace.requests_traced").inc(len(traces))
+                if tr.dropped_requests:
+                    tel.counter("trace.requests_dropped").inc(tr.dropped_requests)
         return result

@@ -89,6 +89,10 @@ class VllmLikeEngine(BaseEngine):
                 seq.prefill_end_time = now
                 seq.mark_first_token(now)
                 state.start_running(seq)
+            tr = self.options.tracing
+            if tr is not None:
+                for seq in admitted:
+                    tr.note_resume(now, seq.seq_id)
             state.finish_ready(now)  # output_len == 1 finishes at prefill
             return now
         if state.running:
@@ -231,6 +235,10 @@ class VllmLikeEngine(BaseEngine):
             seq.prefill_end_time = now
             seq.mark_first_token(now)
             state.start_running(seq)
+        tr = self.options.tracing
+        if tr is not None:
+            for seq in completing:
+                tr.note_resume(now, seq.seq_id)
         state.finish_ready(now)
         return now
 

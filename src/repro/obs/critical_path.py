@@ -1,0 +1,318 @@
+"""Critical-path decomposition of traced requests.
+
+A traced request's end-to-end latency is explained by partitioning the
+interval ``[arrival, finish]`` into contiguous, non-overlapping
+*segments*, each attributed to one cause (queueing, prefill, decode,
+a preemption stall, a storm re-dispatch, fleet warm-up, a KV handoff).
+The partition is exact by construction — segments start at ``arrival``,
+end at ``finish`` and tile the interval — so the conservation law
+
+    sum(segment durations) == e2e
+
+holds to float addition error. :func:`check_conservation` enforces it as
+a simsan-style invariant (rules ``T1`` conservation, ``T2`` contiguity)
+so an attribution bug surfaces as a hard error rather than a quietly
+wrong report.
+
+The decomposition takes the request's base life-cycle cuts (dispatch,
+first schedule, first token) and a set of *overlay* intervals recorded
+by the tracer (stalls, storms, warm-up windows, handoffs). Overlays
+claim the sub-intervals they cover by priority — a swap stall inside the
+decode phase splits decode into segments around it, which is why decode
+appears as *segments* plural in the taxonomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence as TypingSequence
+
+from repro.errors import SimulationError
+
+# ---------------------------------------------------------------------- #
+# Segment taxonomy
+# ---------------------------------------------------------------------- #
+
+#: Waiting in the cluster/router queue before being dispatched (or, when
+#: no dispatch mark exists, the whole pre-schedule wait).
+QUEUE_WAIT = "queue_wait"
+#: Dispatched to a replica but not yet scheduled there.
+PREFILL_WAIT = "prefill_wait"
+#: First schedule to first output token.
+PREFILL = "prefill"
+#: First output token to finish (may split into several segments when
+#: stalls are carved out of it).
+DECODE = "decode"
+#: Waiting while the fleet was warming capacity the request needed.
+WARMUP_WAIT = "warmup_wait"
+#: Waiting on a prefill->decode KV-cache transfer (disaggregated plans).
+KV_HANDOFF = "kv_handoff"
+#: Withdrawn from a storming replica until re-dispatched elsewhere.
+STORM_REDISPATCH = "storm_redispatch"
+#: Preempted with recompute: requeue plus the re-run of lost work.
+PREEMPT_STALL = "preempt_stall"
+#: Preempted with KV swap-out: parked in CPU until swapped back in.
+SWAP_STALL = "swap_stall"
+
+_BASE_KINDS = (QUEUE_WAIT, PREFILL_WAIT, PREFILL, DECODE)
+
+#: Every segment kind the decomposition can emit, in display order.
+SEGMENT_KINDS = (
+    QUEUE_WAIT,
+    PREFILL_WAIT,
+    WARMUP_WAIT,
+    STORM_REDISPATCH,
+    PREFILL,
+    KV_HANDOFF,
+    PREEMPT_STALL,
+    SWAP_STALL,
+    DECODE,
+)
+
+# Overlays claim elementary intervals by priority (higher wins). Base
+# segments sit below every overlay.
+_OVERLAY_PRIORITY = {
+    WARMUP_WAIT: 1,
+    KV_HANDOFF: 2,
+    STORM_REDISPATCH: 3,
+    PREEMPT_STALL: 4,
+    SWAP_STALL: 5,
+}
+
+# Warm-up only explains *waiting* — it never overrides time the request
+# actually spent computing.
+_WAIT_ONLY = frozenset({WARMUP_WAIT})
+
+_TOL = 1e-9
+
+
+class TraceInvariantError(SimulationError):
+    """A critical-path invariant (T1 conservation, T2 contiguity) failed."""
+
+    def __init__(
+        self, rule: str, message: str, *, request_id: int | None = None
+    ) -> None:
+        self.rule = rule
+        self.request_id = request_id
+        where = f" [request {request_id}]" if request_id is not None else ""
+        super().__init__(f"{rule}: {message}{where}")
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One attributed slice of a request's end-to-end interval."""
+
+    kind: str
+    start: float
+    end: float
+    replica: int | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+# ---------------------------------------------------------------------- #
+# Decomposition
+# ---------------------------------------------------------------------- #
+
+
+def decompose(
+    arrival: float,
+    finish: float,
+    *,
+    first_schedule: float,
+    first_token: float,
+    dispatch: float | None = None,
+    overlays: Iterable[tuple[str, float, float, int | None]] = (),
+    replica: int | None = None,
+) -> tuple[Segment, ...]:
+    """Partition ``[arrival, finish]`` into attributed segments.
+
+    ``overlays`` are ``(kind, start, end, replica)`` intervals recorded by
+    the tracer; they are clamped into the request window and resolved by
+    priority on the elementary intervals their endpoints induce. The
+    result is an exact tiling of the window, so segment durations sum to
+    the e2e latency by construction.
+    """
+    if finish - arrival <= 0.0:
+        return ()
+
+    def clamp(t: float) -> float:
+        return min(max(t, arrival), finish)
+
+    d = clamp(arrival if dispatch is None else dispatch)
+    s = clamp(max(d, first_schedule))
+    f = clamp(max(s, first_token))
+
+    if dispatch is None:
+        # No cluster dispatch mark: the whole pre-schedule wait is queue.
+        base = [(QUEUE_WAIT, arrival, s), (PREFILL, s, f), (DECODE, f, finish)]
+    else:
+        base = [
+            (QUEUE_WAIT, arrival, d),
+            (PREFILL_WAIT, d, s),
+            (PREFILL, s, f),
+            (DECODE, f, finish),
+        ]
+
+    cuts = {arrival, finish, d, s, f}
+    clipped: list[tuple[str, float, float, int | None]] = []
+    for kind, lo, hi, rep in overlays:
+        if kind not in _OVERLAY_PRIORITY:
+            raise TraceInvariantError(
+                "T2", f"unknown overlay kind {kind!r}"
+            )
+        lo, hi = clamp(lo), clamp(hi)
+        if hi - lo <= 0.0:
+            continue
+        clipped.append((kind, lo, hi, rep))
+        cuts.add(lo)
+        cuts.add(hi)
+
+    points = sorted(cuts)
+    merged: list[list] = []  # [kind, start, end, replica]
+    for i in range(len(points) - 1):
+        a, b = points[i], points[i + 1]
+        if b - a <= 0.0:
+            continue
+        mid = 0.5 * (a + b)
+        base_kind = base[-1][0]
+        for kind, lo, hi in base:
+            if lo <= mid < hi:
+                base_kind = kind
+                break
+        best_kind, best_rep, best_rank = base_kind, replica, 0
+        for kind, lo, hi, rep in clipped:
+            if not (lo <= mid < hi):
+                continue
+            if kind in _WAIT_ONLY and base_kind not in (QUEUE_WAIT, PREFILL_WAIT):
+                continue
+            rank = _OVERLAY_PRIORITY[kind]
+            if rank > best_rank:
+                best_kind, best_rep, best_rank = kind, rep, rank
+        if merged and merged[-1][0] == best_kind and merged[-1][3] == best_rep:
+            merged[-1][2] = b
+        else:
+            merged.append([best_kind, a, b, best_rep])
+
+    return tuple(Segment(kind=k, start=a, end=b, replica=r) for k, a, b, r in merged)
+
+
+# ---------------------------------------------------------------------- #
+# Invariants (simsan-style)
+# ---------------------------------------------------------------------- #
+
+
+def check_conservation(
+    request_id: int,
+    segments: TypingSequence[Segment],
+    e2e: float,
+    *,
+    tol: float = _TOL,
+) -> None:
+    """Assert the critical path explains the request exactly.
+
+    T2 (contiguity): segments are ordered, non-overlapping and gap-free.
+    T1 (conservation): segment durations sum to ``e2e`` within
+    ``tol * max(1, e2e)``.
+    """
+    scale = tol * max(1.0, abs(e2e))
+    prev_end: float | None = None
+    for seg in segments:
+        if seg.duration < -scale:
+            raise TraceInvariantError(
+                "T2",
+                f"segment {seg.kind} has negative duration {seg.duration!r}",
+                request_id=request_id,
+            )
+        if prev_end is not None and abs(seg.start - prev_end) > scale:
+            raise TraceInvariantError(
+                "T2",
+                f"gap/overlap before segment {seg.kind}: "
+                f"previous ends at {prev_end!r}, next starts at {seg.start!r}",
+                request_id=request_id,
+            )
+        prev_end = seg.end
+    total = sum(seg.duration for seg in segments)
+    if abs(total - e2e) > scale:
+        raise TraceInvariantError(
+            "T1",
+            f"segments sum to {total!r} but e2e is {e2e!r} "
+            f"(difference {total - e2e!r})",
+            request_id=request_id,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Tail aggregation
+# ---------------------------------------------------------------------- #
+
+
+def _percentile(values: TypingSequence[float], q: float) -> float:
+    """Linear-interpolated percentile (numpy 'linear' convention)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class TailReport:
+    """Where the p-tail's end-to-end time went, summed across requests."""
+
+    percentile: float
+    threshold: float
+    num_traces: int
+    num_tail: int
+    total_e2e: float
+    seconds_by_kind: dict[str, float]
+
+    def share(self, kind: str) -> float:
+        if self.total_e2e <= 0.0:
+            return 0.0
+        return self.seconds_by_kind.get(kind, 0.0) / self.total_e2e
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """Segment kinds by tail seconds, largest contributor first."""
+        items = [(k, v) for k, v in self.seconds_by_kind.items() if v > 0.0]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        return items
+
+
+def aggregate_tail(traces: TypingSequence[object], percentile: float = 99.0) -> TailReport:
+    """Rank segment contributions across the e2e tail of ``traces``.
+
+    ``traces`` are duck-typed: each needs ``.e2e`` and ``.segments``.
+    The tail is every trace at or above the e2e percentile (at least
+    one — the worst request — even for tiny populations).
+    """
+    if not 0.0 <= percentile <= 100.0:
+        raise SimulationError("percentile must be in [0, 100]")
+    e2es = [t.e2e for t in traces]
+    threshold = _percentile(e2es, percentile)
+    tail = [t for t in traces if t.e2e >= threshold]
+    if not tail and traces:
+        worst = max(traces, key=lambda t: t.e2e)
+        tail = [worst]
+        threshold = worst.e2e
+    seconds: dict[str, float] = {}
+    total = 0.0
+    for t in tail:
+        total += t.e2e
+        for seg in t.segments:
+            seconds[seg.kind] = seconds.get(seg.kind, 0.0) + seg.duration
+    return TailReport(
+        percentile=percentile,
+        threshold=threshold,
+        num_traces=len(traces),
+        num_tail=len(tail),
+        total_e2e=total,
+        seconds_by_kind=seconds,
+    )

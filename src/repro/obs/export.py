@@ -14,12 +14,15 @@ artifacts stream without a full parse:
 
 :func:`load_jsonl` reconstructs a :class:`~repro.obs.telemetry.Telemetry`
 from an artifact, so ``repro obs <artifact>`` renders exactly what a
-live run would.
+live run would. A trailing partial line — the normal state of an
+artifact being tailed mid-write (``repro obs --follow``) — is tolerated
+with a warning; corruption anywhere else still raises.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 from repro.errors import ConfigurationError
@@ -90,17 +93,34 @@ def load_jsonl(path: str | Path) -> Telemetry:
         for name, value in header.get("gauges", {}).items():
             tel.gauge(name).set(value)
         tel.dropped_events = int(header.get("dropped_events", 0))
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
+        lines = fh.readlines()
+    last = len(lines) - 1
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
             row = json.loads(line)
-            if "series" in row:
-                tel.point(row["series"], row["t"], row["value"])
-            elif "event" in row:
-                kind = row.pop("event")
-                t = row.pop("t")
-                tel.event(t, kind, **row)
-            else:
-                raise ConfigurationError(f"{path}: unrecognized telemetry row {row}")
+        except json.JSONDecodeError:
+            if i == last:
+                # A half-written final row: the writer is mid-append (the
+                # --follow tail races the exporter by design). Render what
+                # made it to disk and say so.
+                warnings.warn(
+                    f"{path}: truncated telemetry artifact (partial final "
+                    "row dropped; the writer may still be running)",
+                    stacklevel=2,
+                )
+                break
+            raise ConfigurationError(
+                f"{path}: malformed telemetry row {i + 2}: {line[:80]!r}"
+            ) from None
+        if "series" in row:
+            tel.point(row["series"], row["t"], row["value"])
+        elif "event" in row:
+            kind = row.pop("event")
+            t = row.pop("t")
+            tel.event(t, kind, **row)
+        else:
+            raise ConfigurationError(f"{path}: unrecognized telemetry row {row}")
     return tel
