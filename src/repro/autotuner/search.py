@@ -30,6 +30,7 @@ from repro.workloads.spec import WorkloadSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.options import SeesawOptions
+    from repro.exec import CellExecutor
 
 
 @dataclass(frozen=True)
@@ -165,24 +166,49 @@ def best_static_config(
     sample_requests: int = 64,
     options: EngineOptions | None = None,
     objective: ServingObjective | None = None,
+    executor: "CellExecutor | None" = None,
 ) -> ParallelConfig:
     """Best static configuration; optionally re-rank analytic top-k by
     simulating a workload subsample with the vLLM-like engine. Under an
     ``slo`` objective the simulated score is measured SLO attainment
-    (throughput breaking ties), not raw throughput."""
+    (throughput breaking ties), not raw throughput.
+
+    ``executor`` fans the top-k validation runs across worker processes
+    (and through the result cache when one is attached); ``None`` keeps
+    the exact serial loop. Both paths score identical results, so the
+    pick is identical."""
     objective = objective or ServingObjective()
     ranked = rank_static_configs(
         model, cluster, workload, allow_dp=allow_dp, objective=objective
     )
     if simulate_top <= 1:
         return ranked[0].config
-    from repro.engines.vllm_like import VllmLikeEngine
-
     sample = workload.subset(min(sample_requests, workload.num_requests))
+    if executor is not None:
+        from repro.exec import CellSpec
+
+        specs = [
+            CellSpec(
+                engine="vllm",
+                model=model,
+                cluster=cluster,
+                config=cand.config.label(),
+                options=options if options is not None else EngineOptions(),
+                workload=sample,
+            )
+            for cand in ranked[:simulate_top]
+        ]
+        runs = executor.run(specs)
+    else:
+        from repro.engines.vllm_like import VllmLikeEngine
+
+        runs = [
+            VllmLikeEngine(model, cluster, cand.config, options).run(sample)
+            for cand in ranked[:simulate_top]
+        ]
     best_cfg, best_key = None, None
-    for cand in ranked[:simulate_top]:
-        engine = VllmLikeEngine(model, cluster, cand.config, options)
-        key = objective.result_key(engine.run(sample))
+    for cand, result in zip(ranked[:simulate_top], runs, strict=True):
+        key = objective.result_key(result)
         if best_key is None or key > best_key:
             best_cfg, best_key = cand.config, key
     assert best_cfg is not None
@@ -199,6 +225,7 @@ def best_seesaw_pair(
     sample_requests: int = 64,
     options: "SeesawOptions | None" = None,
     objective: ServingObjective | None = None,
+    executor: "CellExecutor | None" = None,
 ) -> tuple[ParallelConfig, ParallelConfig]:
     """Best (cp, cd) pair; optionally validated by short simulation.
 
@@ -206,7 +233,9 @@ def best_seesaw_pair(
     for that validation (previously the simulated re-ranking silently
     ignored arrival/router engine options). Under an ``slo`` objective the
     engine is also told the predicted arrival rate so its phase loop can
-    weigh waiting against re-sharding.
+    weigh waiting against re-sharding. ``executor`` parallelizes (and,
+    with a cache, memoizes) the validation runs; the pick is identical
+    either way.
     """
     objective = objective or ServingObjective()
     ranked = rank_seesaw_pairs(
@@ -215,7 +244,6 @@ def best_seesaw_pair(
     if simulate_top <= 1:
         top = ranked[0]
         return top.prefill_config, top.decode_config
-    from repro.core.engine import SeesawEngine
     from repro.core.options import SeesawOptions
 
     if options is None:
@@ -226,12 +254,33 @@ def best_seesaw_pair(
     if options.arrival_rate is None and objective.arrival_rate_hint is not None:
         options = replace(options, arrival_rate=objective.arrival_rate_hint)
     sample = workload.subset(min(sample_requests, workload.num_requests))
+    if executor is not None:
+        from repro.exec import CellSpec
+
+        specs = [
+            CellSpec(
+                engine="seesaw",
+                model=model,
+                cluster=cluster,
+                config=cand.label(),
+                options=options,
+                workload=sample,
+            )
+            for cand in ranked[:simulate_top]
+        ]
+        runs = executor.run(specs)
+    else:
+        from repro.core.engine import SeesawEngine
+
+        runs = [
+            SeesawEngine(
+                model, cluster, cand.prefill_config, cand.decode_config, options
+            ).run(sample)
+            for cand in ranked[:simulate_top]
+        ]
     best, best_key = None, None
-    for cand in ranked[:simulate_top]:
-        engine = SeesawEngine(
-            model, cluster, cand.prefill_config, cand.decode_config, options
-        )
-        key = objective.result_key(engine.run(sample))
+    for cand, result in zip(ranked[:simulate_top], runs, strict=True):
+        key = objective.result_key(result)
         if best_key is None or key > best_key:
             best, best_key = cand, key
     assert best is not None
@@ -246,23 +295,48 @@ def tune_chunk_size(
     *,
     candidates: tuple[int, ...] = (512, 1024, 2048, 4096),
     sample_requests: int = 48,
+    executor: "CellExecutor | None" = None,
 ) -> int:
     """Pick the chunked-prefill chunk size by short simulation.
 
     The paper tunes vLLM's chunk size per workload ('otherwise suboptimal
     chunk sizes would cause severe throughput degradation'); this helper is
-    that tuning loop.
+    that tuning loop. ``executor`` fans the candidate runs out in
+    parallel; the pick is identical either way.
     """
     if not candidates:
         raise ConfigurationError("need at least one chunk-size candidate")
-    from repro.engines.vllm_like import VllmLikeEngine
-
     sample = workload.subset(min(sample_requests, workload.num_requests))
+    if executor is not None:
+        from repro.exec import CellSpec
+
+        specs = [
+            CellSpec(
+                engine="vllm",
+                model=model,
+                cluster=cluster,
+                config=config.label(),
+                options=EngineOptions(chunked_prefill=True, chunk_size=size),
+                workload=sample,
+            )
+            for size in candidates
+        ]
+        runs = executor.run(specs)
+    else:
+        from repro.engines.vllm_like import VllmLikeEngine
+
+        runs = [
+            VllmLikeEngine(
+                model,
+                cluster,
+                config,
+                EngineOptions(chunked_prefill=True, chunk_size=size),
+            ).run(sample)
+            for size in candidates
+        ]
     best_size, best_rps = candidates[0], -1.0
-    for size in candidates:
-        options = EngineOptions(chunked_prefill=True, chunk_size=size)
-        engine = VllmLikeEngine(model, cluster, config, options)
-        rps = engine.run(sample).throughput_rps
+    for size, result in zip(candidates, runs, strict=True):
+        rps = result.throughput_rps
         if rps > best_rps:
             best_size, best_rps = size, rps
     return best_size

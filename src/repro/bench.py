@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.engines.base import EngineOptions
 from repro.engines.vllm_like import VllmLikeEngine
+from repro.errors import SimulationError
 from repro.hardware.cluster import make_cluster
 from repro.models.registry import get_model
 from repro.parallel.config import ParallelConfig
@@ -159,18 +160,83 @@ def _cell_fluid_million(scale: float):
     return lambda: eng.run(wl), "requests"
 
 
+def run_sweep_parallel(scale: float = 1.0, jobs: int = 2) -> dict:
+    """Multi-cell sweep wall: the same 8 coupled-JSQ cells executed
+    serially (``--jobs 1``) and through the process pool (``--jobs N``),
+    in that order, with the parallel results asserted bit-identical to
+    the serial ones before anything is reported. ``wall_s`` (what the
+    regression gate budgets) is the *parallel* wall; ``serial_wall_s``
+    and ``speedup`` record what the fan-out bought on this machine."""
+    from repro.exec import CellExecutor, CellSpec
+
+    n = max(16, int(400 * scale))
+    model = get_model("15b")
+    cluster = make_cluster("A10", 8)
+    specs = [
+        CellSpec(
+            engine="vllm",
+            model=model,
+            cluster=cluster,
+            config="D4T2",
+            options=EngineOptions(router="jsq", router_seed=7 + i, coupled=True),
+            workload=poisson_arrivals(
+                sharegpt_workload(num_requests=n, seed=7 + i),
+                rate_rps=8.0,
+                seed=7 + i,
+            ),
+            seed=7 + i,
+        )
+        for i in range(8)
+    ]
+    t0 = time.perf_counter()
+    serial = CellExecutor(jobs=1).run(specs)
+    serial_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    outcomes = CellExecutor(jobs=jobs).run_outcomes(specs)
+    wall = time.perf_counter() - t0
+    parallel = [o.result for o in outcomes]
+    if parallel != serial:
+        raise SimulationError(
+            "parallel sweep diverged from the serial run "
+            "(the executor's determinism contract is broken)"
+        )
+    work = len(specs)
+    return {
+        "cell": "sweep_parallel",
+        "wall_s": round(wall, 4),
+        "serial_wall_s": round(serial_wall, 4),
+        "speedup": round(serial_wall / wall, 2) if wall > 0 else 0.0,
+        "jobs": jobs,
+        "work_kind": "cells",
+        "work_items": work,
+        "work_rate": round(work / wall, 1) if wall > 0 else 0.0,
+        "peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+        ),
+        "child_peak_rss_mb": round(
+            max((o.peak_rss_mb for o in outcomes), default=0.0), 1
+        ),
+        "sim_seconds": round(sum(r.total_time for r in parallel), 2),
+    }
+
+
 CELLS: dict[str, Callable] = {
     "offline_static": _cell_offline_static,
     "coupled_jsq": _cell_coupled_jsq,
     "autoscaled_diurnal": _cell_autoscaled_diurnal,
     "fluid_million": _cell_fluid_million,
+    # Special-cased in run_cell: times a serial-vs-pooled executor pair
+    # rather than one engine run (the value here is for the listing).
+    "sweep_parallel": run_sweep_parallel,
 }
 
 
 def run_cell(
-    name: str, scale: float = 1.0, profile_dir: Path | None = None
+    name: str, scale: float = 1.0, profile_dir: Path | None = None, jobs: int = 2
 ) -> dict:
     """Time one reference cell; returns the measurement record."""
+    if name == "sweep_parallel":
+        return run_sweep_parallel(scale, jobs=jobs)
     runner, work_kind = CELLS[name](scale)
     if profile_dir is not None:
         import cProfile
@@ -190,6 +256,7 @@ def run_cell(
     else:
         work = result.latency.num_requests if result.latency is not None else 0
     peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    child_rss_mb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / 1024.0
     return {
         "cell": name,
         "wall_s": round(wall, 4),
@@ -197,6 +264,7 @@ def run_cell(
         "work_items": int(work),
         "work_rate": round(work / wall, 1) if wall > 0 else 0.0,
         "peak_rss_mb": round(peak_rss_mb, 1),
+        "child_peak_rss_mb": round(child_rss_mb, 1),
         "sim_seconds": round(result.total_time, 2),
     }
 
@@ -316,7 +384,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"calibration spin: {calib:.3f}s")
     failed = []
     for name in names:
-        measurement = run_cell(name, scale=args.scale, profile_dir=profile_dir)
+        measurement = run_cell(
+            name, scale=args.scale, profile_dir=profile_dir, jobs=args.jobs
+        )
         measurement["calib_s"] = round(calib, 4)
         line = (
             f"{name:20s} wall={measurement['wall_s']:8.3f}s "
@@ -324,6 +394,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"rate={measurement['work_rate']:.0f}/s "
             f"rss={measurement['peak_rss_mb']:.0f}MB"
         )
+        if "speedup" in measurement:
+            line += (
+                f" speedup={measurement['speedup']:.2f}x"
+                f"(jobs={measurement['jobs']})"
+            )
         if args.update:
             if args.scale != 1.0:
                 print("refusing to --update baselines at --scale != 1", file=sys.stderr)
@@ -426,6 +501,13 @@ def add_bench_parser(sub) -> None:
         type=float,
         default=1.0,
         help="shrink cells by this factor (smoke testing; disables --check)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes for the sweep_parallel cell (default 2)",
     )
     p.add_argument(
         "--profile",

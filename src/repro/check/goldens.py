@@ -148,6 +148,63 @@ def golden_scenarios() -> dict[str, Callable[[], EngineResult]]:
     }
 
 
+def golden_cell_specs() -> dict:
+    """The pinned scenarios as :class:`~repro.exec.spec.CellSpec` values,
+    keyed like :data:`GOLDEN_SEED` — the form ``repro check goldens
+    --jobs N`` fans out. Constructions mirror :func:`golden_scenarios`
+    exactly (same models, clusters, workloads, options), so the executor
+    path must reproduce the same pinned literals bit-for-bit."""
+    from repro.core.options import SeesawOptions
+    from repro.engines.base import EngineOptions
+    from repro.exec import CellSpec
+    from repro.hardware.cluster import make_cluster
+    from repro.models.config import ModelConfig
+    from repro.models.registry import get_model
+    from repro.workloads.datasets import sharegpt_workload
+    from repro.workloads.synthetic import constant_workload
+
+    tiny = ModelConfig(
+        name="tiny-2b",
+        num_layers=16,
+        hidden_size=2048,
+        num_heads=16,
+        num_kv_heads=4,
+        intermediate_size=5504,
+        vocab_size=32000,
+    )
+    a10_4 = make_cluster("A10", 4)
+    const = constant_workload(16, 256, 32)
+    chat = sharegpt_workload(40, seed=7)
+    return {
+        "vllm_plain": CellSpec(
+            engine="vllm", model=tiny, cluster=a10_4, config="T2P2",
+            options=EngineOptions(), workload=const,
+        ),
+        "vllm_chunked": CellSpec(
+            engine="vllm", model=tiny, cluster=a10_4, config="T2P2",
+            options=EngineOptions(chunked_prefill=True, chunk_size=512),
+            workload=chat,
+        ),
+        "vllm_dp": CellSpec(
+            engine="vllm", model=tiny, cluster=a10_4, config="D2T2",
+            options=EngineOptions(), workload=chat,
+        ),
+        "decode_prio": CellSpec(
+            engine="decode-prio", model=tiny, cluster=a10_4, config="T4",
+            options=EngineOptions(), workload=chat,
+        ),
+        "seesaw": CellSpec(
+            engine="seesaw", model=get_model("34b"),
+            cluster=make_cluster("A10", 8), config="P8->T4P2",
+            options=SeesawOptions(), workload=sharegpt_workload(30, seed=7),
+        ),
+        "disagg": CellSpec(
+            engine="disagg", model=tiny, cluster=a10_4, config="T2|T2",
+            options=EngineOptions(), workload=const,
+        ),
+    }
+
+
 @dataclass(frozen=True)
 class GoldenOutcome:
     """One scenario's verdict against its pinned golden."""
@@ -201,8 +258,24 @@ def check_result(name: str, result: EngineResult) -> GoldenOutcome:
 
 def run_goldens(
     names: tuple[str, ...] | None = None,
+    executor=None,
 ) -> tuple[GoldenOutcome, ...]:
-    """Re-run the pinned cells and compare (all of them by default)."""
+    """Re-run the pinned cells and compare (all of them by default).
+
+    ``executor`` (a :class:`~repro.exec.CellExecutor`) fans the scenarios
+    over worker processes and/or serves them from the result cache;
+    ``None`` keeps the exact serial direct-construction loop. Both paths
+    are compared against the same pinned literals — the serial-vs-parallel
+    bit-exactness contract is itself golden-tested.
+    """
+    if executor is not None:
+        specs = golden_cell_specs()
+        selected = tuple(sorted(specs)) if names is None else names
+        results = executor.run([specs[name] for name in selected])
+        return tuple(
+            check_result(name, result)
+            for name, result in zip(selected, results, strict=True)
+        )
     scenarios = golden_scenarios()
     selected = tuple(sorted(scenarios)) if names is None else names
     outcomes = []

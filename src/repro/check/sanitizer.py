@@ -189,6 +189,100 @@ class Sanitizer:
         del self._owner[request.request_id]
 
     # ------------------------------------------------------------------ #
+    # S3 — fluid-path analogs
+    # ------------------------------------------------------------------ #
+
+    def note_fluid_request(
+        self,
+        request_id: int,
+        replica: int,
+        *,
+        arrival: float,
+        sched: float,
+        first: float,
+        finish: float,
+    ) -> None:
+        """Causal ordering of one fluid request's latency timeline.
+
+        The fluid path has no per-token events to conserve, so the S3
+        analog per request is the ordering the mean-field algebra must
+        preserve: arrival <= schedule <= first token <= finish (a sign
+        error in the drain-tail correction or the boundary-quantization
+        term shows up here first).
+        """
+        self.checks["S3"] += 1
+        timeline = (
+            ("arrival", arrival),
+            ("sched", sched),
+            ("first-token", first),
+            ("finish", finish),
+        )
+        for (a_name, a), (b_name, b) in zip(timeline, timeline[1:], strict=False):
+            if b < a - _TOL:
+                raise SanitizerError(
+                    "S3",
+                    f"request {request_id}: {b_name} at {b:.9f} precedes "
+                    f"{a_name} at {a:.9f}",
+                    time=finish,
+                    replica=replica,
+                )
+
+    def check_fluid_conservation(
+        self,
+        *,
+        num_requests: int,
+        dispatched: int,
+        prompt_tokens: int,
+        served_prompt_tokens: float,
+        decode_tokens: int,
+        expected_decode_tokens: int,
+        total_tokens: int,
+        expected_total_tokens: int,
+        now: float,
+    ) -> None:
+        """End-of-run conservation over the mean-field accumulators.
+
+        The fluid replicas carry aggregate counters instead of sequences,
+        so drain-time S3 checks sums: every workload request was
+        dispatched exactly once, the decode/total token ledgers match the
+        workload exactly (integers), and the prefill busy-seconds times
+        the analytic rate reproduces the prompt tokens served (a float
+        accumulation, tolerated to 1e-6 relative).
+        """
+        self.checks["S3"] += 1
+        if dispatched != num_requests:
+            raise SanitizerError(
+                "S3",
+                f"{dispatched} requests dispatched across the fleet != "
+                f"{num_requests} in the workload",
+                time=now,
+            )
+        if decode_tokens != expected_decode_tokens:
+            raise SanitizerError(
+                "S3",
+                f"fleet decoded {decode_tokens} tokens != workload "
+                f"{expected_decode_tokens} (sum of output_len - 1)",
+                time=now,
+            )
+        if total_tokens != expected_total_tokens:
+            raise SanitizerError(
+                "S3",
+                f"fleet token ledger {total_tokens} != workload prompt + "
+                f"output total {expected_total_tokens}",
+                time=now,
+            )
+        tol = max(1.0, 1e-6 * prompt_tokens)
+        if abs(served_prompt_tokens - prompt_tokens) > tol:
+            raise SanitizerError(
+                "S3",
+                f"prefill streams served {served_prompt_tokens:.3f} prompt "
+                f"tokens != workload {prompt_tokens} (fluid queues are "
+                "work-conserving: busy-seconds x rate must reproduce the "
+                "prompt tokens)",
+                time=now,
+            )
+
+    # ------------------------------------------------------------------ #
     # S6 — fleet lifecycle
     # ------------------------------------------------------------------ #
 

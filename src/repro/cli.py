@@ -174,8 +174,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="run the shared-clock invariant sanitizer (simsan) alongside "
         "the simulation: per-replica/cluster clock monotonicity, event "
         "causality, token conservation, KV balance, request identity and "
-        "fleet lifecycle legality; needs --coupled with the event "
-        "fidelity, and any violation aborts the run with the rule id",
+        "fleet lifecycle legality (on the fluid fidelity, the analog "
+        "conservation laws over the mean-field accumulators); needs "
+        "--coupled, and any violation aborts the run with the rule id",
     )
 
 
@@ -242,6 +243,69 @@ def _add_tracing_flags(parser: argparse.ArgumentParser) -> None:
         help="also export the traces as Chrome trace-event JSON (load in "
         "Perfetto / chrome://tracing); implies --tracing all unless "
         "--tracing is given",
+    )
+
+
+def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent simulation cells over N worker processes; "
+        "results merge in submission order, so the report is "
+        "byte-identical to --jobs 1 (the default, which keeps the exact "
+        "zero-overhead in-process path)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="memoize cell results in the content-addressed on-disk "
+        "cache (~/.cache/repro; key = canonical cell spec + code-version "
+        "salt, so any source change invalidates every entry); repeated "
+        "cells across sweeps and re-runs are served from disk",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache under DIR instead of ~/.cache/repro (implies --cache)",
+    )
+
+
+def _make_executor(args: argparse.Namespace):
+    """The :class:`~repro.exec.CellExecutor` the exec flags describe, or
+    ``None`` when they ask for the plain in-process path (``--jobs 1``,
+    no cache) — callers keep their exact legacy loops in that case."""
+    jobs = getattr(args, "jobs", 1)
+    want_cache = getattr(args, "cache", False) or getattr(args, "cache_dir", None)
+    if jobs == 1 and not want_cache:
+        return None
+    if getattr(args, "sanitize", False):
+        raise ConfigurationError(
+            "--sanitize is incompatible with --jobs > 1 / --cache: the "
+            "sanitizer is a process-local hook whose checks cannot cross "
+            "a worker boundary or be replayed from a cache entry; drop "
+            "--sanitize or run with --jobs 1 and no cache"
+        )
+    from repro.exec import CellExecutor, ResultCache
+
+    cache = None
+    if want_cache:
+        cache = ResultCache(root=getattr(args, "cache_dir", None))
+    return CellExecutor(jobs=jobs, cache=cache)
+
+
+def _report_cache(executor) -> None:
+    """One stderr line of cache effectiveness (stderr keeps stdout
+    byte-identical with and without a cache)."""
+    if executor is None or executor.cache is None:
+        return
+    cache = executor.cache
+    print(
+        f"cache: {cache.hits} hit(s), {cache.misses} miss(es) under "
+        f"{cache.root}",
+        file=sys.stderr,
     )
 
 
@@ -646,6 +710,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     cluster = make_cluster(args.gpu, args.num_gpus)
     workload = _make_workload(args)
     objective = _serving_objective(args, workload)
+    executor = _make_executor(args)
     from repro.core.options import SeesawOptions
 
     slo_opts = {"ttft_slo": args.ttft_slo, "tpot_slo": args.tpot_slo}
@@ -667,21 +732,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
         simulate_top=3,
         options=EngineOptions(**router_opts),
         objective=objective,
+        executor=executor,
     )
-    chunk = tune_chunk_size(model, cluster, static_cfg, workload)
-    vllm = VllmLikeEngine(
-        model,
-        cluster,
-        static_cfg,
-        EngineOptions(chunked_prefill=True, chunk_size=chunk, **router_opts),
-    ).run(workload)
-    vllm_plain = VllmLikeEngine(
-        model, cluster, static_cfg, EngineOptions(**router_opts)
-    ).run(workload)
-    # The chunked-vs-plain pick honors the objective too: under slo, a
-    # faster run that misses the SLOs must not displace a compliant one.
-    if objective.result_key(vllm_plain) > objective.result_key(vllm):
-        vllm = vllm_plain
+    chunk = tune_chunk_size(model, cluster, static_cfg, workload, executor=executor)
+    chunked_opts = EngineOptions(
+        chunked_prefill=True, chunk_size=chunk, **router_opts
+    )
+    plain_opts = EngineOptions(**router_opts)
     seesaw_run_opts = SeesawOptions(
         **router_opts, arrival_rate=objective.arrival_rate_hint
     )
@@ -692,8 +749,45 @@ def cmd_compare(args: argparse.Namespace) -> int:
         simulate_top=3,
         options=seesaw_run_opts,
         objective=objective,
+        executor=executor,
     )
-    seesaw = SeesawEngine(model, cluster, cp, cd, seesaw_run_opts).run(workload)
+    if executor is not None:
+        # The three headline runs are independent cells: batch them into
+        # one fan-out (results come back in submission order).
+        from repro.exec import CellSpec
+
+        vllm, vllm_plain, seesaw = executor.run(
+            [
+                CellSpec(
+                    engine="vllm", model=model, cluster=cluster,
+                    config=static_cfg.label(), options=chunked_opts,
+                    workload=workload, seed=args.seed,
+                ),
+                CellSpec(
+                    engine="vllm", model=model, cluster=cluster,
+                    config=static_cfg.label(), options=plain_opts,
+                    workload=workload, seed=args.seed,
+                ),
+                CellSpec(
+                    engine="seesaw", model=model, cluster=cluster,
+                    config=f"{cp.label()}->{cd.label()}",
+                    options=seesaw_run_opts, workload=workload,
+                    seed=args.seed,
+                ),
+            ]
+        )
+    else:
+        vllm = VllmLikeEngine(model, cluster, static_cfg, chunked_opts).run(
+            workload
+        )
+        vllm_plain = VllmLikeEngine(model, cluster, static_cfg, plain_opts).run(
+            workload
+        )
+        seesaw = SeesawEngine(model, cluster, cp, cd, seesaw_run_opts).run(workload)
+    # The chunked-vs-plain pick honors the objective too: under slo, a
+    # faster run that misses the SLOs must not displace a compliant one.
+    if objective.result_key(vllm_plain) > objective.result_key(vllm):
+        vllm = vllm_plain
     results = {f"vllm {vllm.label}": vllm, f"seesaw {seesaw.label}": seesaw}
     print(
         comparison_table(
@@ -722,6 +816,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         print()
         print(routing_table(results, title=f"replica load ({args.router} router)"))
     print(f"speedup: {seesaw.throughput_rps / vllm.throughput_rps:.2f}x")
+    _report_cache(executor)
     return 0
 
 
@@ -730,6 +825,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     cluster = make_cluster(args.gpu, args.num_gpus)
     workload = _make_workload(args)
     objective = _serving_objective(args, workload)
+    executor = _make_executor(args)
     from repro.core.options import SeesawOptions
 
     results: dict[str, EngineResult] = {}
@@ -746,9 +842,28 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         **fleet_opts,
         **slo_opts,
     )
-    for ranked in rank_static_configs(model, cluster, workload, objective=objective):
-        engine = VllmLikeEngine(model, cluster, ranked.config, opts)
-        results[ranked.config.label()] = engine.run(workload)
+    ranked_configs = rank_static_configs(
+        model, cluster, workload, objective=objective
+    )
+    if executor is not None:
+        from repro.exec import CellSpec
+
+        static_specs = [
+            CellSpec(
+                engine="vllm", model=model, cluster=cluster,
+                config=ranked.config.label(), options=opts,
+                workload=workload, seed=args.seed,
+            )
+            for ranked in ranked_configs
+        ]
+        for ranked, run in zip(
+            ranked_configs, executor.run(static_specs), strict=True
+        ):
+            results[ranked.config.label()] = run
+    else:
+        for ranked in ranked_configs:
+            engine = VllmLikeEngine(model, cluster, ranked.config, opts)
+            results[ranked.config.label()] = engine.run(workload)
     seesaw_opts = SeesawOptions(
         router=args.router,
         router_seed=args.seed,
@@ -761,9 +876,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     cp, cd = best_seesaw_pair(
         model, cluster, workload, simulate_top=3,
-        options=seesaw_opts, objective=objective,
+        options=seesaw_opts, objective=objective, executor=executor,
     )
-    seesaw = SeesawEngine(model, cluster, cp, cd, seesaw_opts).run(workload)
+    if executor is not None:
+        from repro.exec import CellSpec
+
+        (seesaw,) = executor.run(
+            [
+                CellSpec(
+                    engine="seesaw", model=model, cluster=cluster,
+                    config=f"{cp.label()}->{cd.label()}", options=seesaw_opts,
+                    workload=workload, seed=args.seed,
+                )
+            ]
+        )
+    else:
+        seesaw = SeesawEngine(model, cluster, cp, cd, seesaw_opts).run(workload)
     results[f"seesaw {seesaw.label}"] = seesaw
     # The baseline pick honors the objective: under slo, normalizing
     # against a 0%-attainment config would misstate every speedup.
@@ -783,6 +911,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     ):
         print()
         print(latency_table(results, title="latency vs SLO", **slo_opts))
+    _report_cache(executor)
     return 0
 
 
@@ -861,14 +990,35 @@ def cmd_check_goldens(args: argparse.Namespace) -> int:
             raise ConfigurationError(
                 f"unknown golden scenario(s) {unknown}; one of {known}"
             )
-    outcomes = run_goldens(names)
+    executor = _make_executor(args)
+    outcomes = run_goldens(names, executor=executor)
     print(render_goldens_table(outcomes))
+    _report_cache(executor)
     return 0 if all(o.passed for o in outcomes) else 1
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.exec import ResultCache
+
+    cache = ResultCache(root=args.cache_dir)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) under {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"root            : {stats.root}")
+    print(f"code salt       : {stats.salt}")
+    print(f"generations     : {stats.generations}")
+    print(f"entries         : {stats.entries}")
+    print(f"current-salt    : {stats.current_entries}")
+    print(f"total size      : {stats.total_bytes / 1024:.1f} KiB")
+    return 0
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
     from repro import experiments as ex
 
+    executor = _make_executor(args)
     artifacts = {
         "table1": lambda: ex.render_table1(),
         "fig1": lambda: ex.render_fig1(ex.run_fig1()),
@@ -884,16 +1034,20 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         "fig14": lambda: ex.render_fig14(ex.run_fig14(num_requests=32)),
         "fig15": lambda: ex.render_fig15(ex.run_fig15()),
         "latency": lambda: ex.render_latency_sweep(
-            ex.run_latency_sweep(num_requests=40)
+            ex.run_latency_sweep(num_requests=40, executor=executor)
         ),
         "routing": lambda: ex.render_routing_sweep(
-            ex.run_routing_sweep(num_requests=48)
+            ex.run_routing_sweep(num_requests=48, executor=executor)
         ),
-        "slo": lambda: ex.render_slo_sweep(ex.run_slo_sweep(num_requests=32)),
+        "slo": lambda: ex.render_slo_sweep(
+            ex.run_slo_sweep(num_requests=32, executor=executor)
+        ),
         "coupled": lambda: ex.render_coupled_sweep(
-            ex.run_coupled_sweep(num_requests=40)
+            ex.run_coupled_sweep(num_requests=40, executor=executor)
         ),
-        "autoscale": lambda: ex.render_autoscale_sweep(ex.run_autoscale_sweep()),
+        "autoscale": lambda: ex.render_autoscale_sweep(
+            ex.run_autoscale_sweep(executor=executor)
+        ),
     }
     if args.artifact not in artifacts:
         print(
@@ -902,6 +1056,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         )
         return 2
     print(artifacts[args.artifact]())
+    _report_cache(executor)
     return 0
 
 
@@ -1013,10 +1168,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="vLLM-best vs Seesaw-best")
     _add_common(p_cmp)
+    _add_exec_flags(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_sweep = sub.add_parser("sweep", help="all static configs + Seesaw")
     _add_common(p_sweep)
+    _add_exec_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_pred = sub.add_parser("predict", help="analytic rates, no simulation")
@@ -1086,6 +1243,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_gold.add_argument(
         "--list", action="store_true", help="list scenario names and exit"
     )
+    _add_exec_flags(p_gold)
     p_gold.set_defaults(func=cmd_check_goldens)
 
     p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
@@ -1094,7 +1252,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="table1 | fig1 | ... | fig15 | latency | routing | slo | "
         "coupled | autoscale",
     )
+    _add_exec_flags(p_repro)
     p_repro.set_defaults(func=cmd_reproduce)
+
+    p_cache = sub.add_parser(
+        "cache", help="manage the on-disk simulation result cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    for sub_name, sub_help in (
+        ("stats", "entry counts, size and the current code salt"),
+        ("clear", "remove every cached result (all code generations)"),
+    ):
+        p_cache_sub = cache_sub.add_parser(sub_name, help=sub_help)
+        p_cache_sub.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="cache root to inspect (default ~/.cache/repro)",
+        )
+        p_cache_sub.set_defaults(func=cmd_cache)
 
     from repro.bench import add_bench_parser
 

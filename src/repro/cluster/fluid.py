@@ -255,6 +255,12 @@ class FluidSimulator:
         # stays a few-hundred-point artifact. Per-replica series are only
         # emitted for small fleets; cluster.* always.
         self.telemetry = options.telemetry
+        # simsan: the fluid path checks the mean-field analogs — causal
+        # per-request timelines inline, aggregate token conservation at
+        # drain (there are no per-token events or KV books to sweep).
+        self.sanitizer = options.sanitize
+        if self.sanitizer is not None:
+            self.sanitizer.begin_run()
         # numpy mirror of the active replicas' ready times (the ranking
         # key every queue-depth policy reduces to); rebuilt on membership
         # changes, updated in place on dispatch.
@@ -494,6 +500,7 @@ class FluidSimulator:
         tpot, tpot_drain = self._tpot_now = self._tpot(0.0)
         tel = self.telemetry
         trc = self.engine.options.tracing
+        san = self.sanitizer
         sample_step = 0.0
         if tel is not None:
             # Widened sample grid: a full day of arrivals still exports at
@@ -535,6 +542,9 @@ class FluidSimulator:
             replica = active[k]
             if trc is not None:
                 trc.note_dispatch(now, req.request_id, replica.replica_id)
+            if san is not None:
+                san.note_cluster_clock(now)
+                san.note_dispatch(req, replica.replica_id, now)
             ready = replica.ready
             if ready < now:
                 # Idle only once the decode tail has drained too — a
@@ -587,6 +597,15 @@ class FluidSimulator:
             first_t[i] = first
             finish_t[i] = finish
             assigned[i] = replica.replica_id
+            if san is not None:
+                san.note_fluid_request(
+                    req.request_id,
+                    replica.replica_id,
+                    arrival=now,
+                    sched=sched,
+                    first=first,
+                    finish=finish,
+                )
 
         last_arrival = max(arrival_t) if arrival_t else 0.0
         self._reap(last_arrival)
@@ -619,6 +638,24 @@ class FluidSimulator:
                     for r in self.replicas
                     if r.active_at > r.created_at
                 )
+            )
+
+        if san is not None:
+            san.check_fluid_conservation(
+                num_requests=len(reqs),
+                dispatched=sum(r.num_requests for r in self.replicas),
+                prompt_tokens=sum(r.prompt_len for r in reqs),
+                served_prompt_tokens=sum(
+                    r.prefill_busy for r in self.replicas
+                )
+                * pf_rate,
+                decode_tokens=sum(r.decode_tokens_total for r in self.replicas),
+                expected_decode_tokens=sum(
+                    max(0, r.output_len - 1) for r in reqs
+                ),
+                total_tokens=sum(r.total_tokens for r in self.replicas),
+                expected_total_tokens=sum(r.total_tokens for r in reqs),
+                now=makespan,
             )
 
         records = tuple(

@@ -146,12 +146,6 @@ class EngineOptions:
                     "the sanitizer checks shared-clock invariants: pass "
                     "coupled=True (--coupled) with --sanitize"
                 )
-            if self.fidelity != "event":
-                raise ConfigurationError(
-                    "the sanitizer needs the event-fidelity coupled path "
-                    "(fluid replicas have no event loop to check); pass "
-                    "--fidelity event"
-                )
         if self.max_num_seqs < 1 or self.max_batched_tokens < 1 or self.chunk_size < 1:
             raise ConfigurationError("engine limits must be positive")
         if self.block_size < 1:

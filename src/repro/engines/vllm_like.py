@@ -12,10 +12,12 @@ remainder with a chunk of the next prompt (vLLM 0.5.4's behaviour with
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Iterator
 
 from repro.costmodel.step import ITERATION_OVERHEAD
 from repro.engines.base import BaseEngine, ReplicaRun, ReplicaState
+from repro.engines.slots import VECTORIZE_MIN_SEQS, np as _np
 from repro.errors import CapacityError, SchedulingError
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.request import Request, Sequence, SequenceState
@@ -131,6 +133,17 @@ class VllmLikeEngine(BaseEngine):
         budget = self.options.max_batched_tokens * costs_pp(self)
         if not state.running:
             budget = max(budget, state.kv.capacity_tokens)
+        if (
+            self.options.vectorize
+            and _np is not None
+            and len(state.waiting) >= VECTORIZE_MIN_SEQS
+        ):
+            return self._admit_prefills_vectorized(state, budget)
+        return self._admit_prefills_scalar(state, budget)
+
+    def _admit_prefills_scalar(
+        self, state: ReplicaState, budget: int
+    ) -> list[Sequence]:
         admitted: list[Sequence] = []
         used = 0
         while state.waiting:
@@ -148,6 +161,44 @@ class VllmLikeEngine(BaseEngine):
             used += seq.remaining_prefill
             if used >= budget:
                 break
+        return admitted
+
+    def _admit_prefills_vectorized(
+        self, state: ReplicaState, budget: int
+    ) -> list[Sequence]:
+        """The scalar scan as cumulative sums: prompt j is admitted iff its
+        cumulative block demand fits the free pool and the tokens admitted
+        before it leave budget headroom (the first prompt may exceed the
+        budget alone, exactly like the scalar loop). Bit-exact because no
+        admission in this path ever holds a reservation, so the scalar
+        loop's rolling ``can_allocate`` is a pure prefix sum."""
+        kv = state.kv
+        cap = self.options.max_num_seqs - len(state.running)
+        # Every admission consumes >= 1 block, so free_blocks bounds the
+        # admissible prefix as tightly as the seq-count cap does.
+        window = max(0, min(len(state.waiting), cap, kv.free_blocks))
+        if window == 0:
+            return []
+        prefills = _np.fromiter(
+            (seq.remaining_prefill for seq in islice(state.waiting, window)),
+            dtype=_np.int64,
+            count=window,
+        )
+        bs = kv.block_size
+        blocks = (prefills + bs) // bs  # == blocks_for(remaining_prefill + 1)
+        cum_blocks = _np.cumsum(blocks)
+        cum_prefills = _np.cumsum(prefills)
+        used_before = cum_prefills - prefills
+        ok = (cum_blocks <= kv.free_blocks) & (used_before < budget)
+        over = used_before + prefills > budget
+        over[0] = False
+        ok &= ~over
+        k = window if bool(ok.all()) else int(ok.argmin())
+        admitted: list[Sequence] = []
+        for _ in range(k):
+            seq = state.waiting.popleft()
+            kv.allocate(seq.seq_id, seq.remaining_prefill + 1)
+            admitted.append(seq)
         return admitted
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,180 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Entries are keyed by ``sha256(canonical CellSpec JSON + code salt)``: the
+spec half makes the key a pure function of everything that determines the
+output (model, cluster, config, options, workload bytes, seed), and the
+salt half — a digest over the installed ``repro`` package's source —
+invalidates every entry the moment any simulator code changes, so a
+cached result can never silently disagree with what the current tree
+would compute. Entries for stale salts are left on disk (cheap, and a
+checkout switching branches gets its old entries back); ``clear()``
+removes all generations.
+
+Writes are atomic (tmp file + ``os.replace``) so a crashed or concurrent
+writer can never leave a half-written entry behind, and reads treat any
+undecodable entry as a miss — the corrupt file is unlinked and the cell
+simply re-simulates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exec.spec import CellSpec
+from repro.runtime.metrics import EngineResult
+
+CACHE_SCHEMA = "repro-cache-v1"
+
+#: Default cache root (``--cache-dir`` overrides).
+DEFAULT_CACHE_ROOT = "~/.cache/repro"
+
+_salt_cache: str | None = None
+
+
+def code_salt() -> str:
+    """Digest of the installed ``repro`` package source (module-cached).
+
+    Hashes every ``*.py`` under the package in sorted relative-path order
+    — any source change, anywhere in the simulator, flips the salt and
+    with it every cache key.
+    """
+    global _salt_cache
+    if _salt_cache is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _salt_cache = h.hexdigest()[:16]
+    return _salt_cache
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """What ``repro cache stats`` reports."""
+
+    root: str
+    salt: str
+    generations: int
+    entries: int
+    current_entries: int
+    total_bytes: int
+
+
+class ResultCache:
+    """Content-addressed :class:`EngineResult` store under one root.
+
+    Layout: ``<root>/<salt>/<key>.pkl`` — one directory per code
+    generation, one pickle per cell. Hit/miss counters accumulate per
+    instance so callers can report cache effectiveness for a run.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None, salt: str | None = None):
+        base = DEFAULT_CACHE_ROOT if root is None else root
+        self.root = Path(base).expanduser()
+        self.salt = code_salt() if salt is None else salt
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, spec: CellSpec) -> str:
+        payload = spec.canonical_json() + "\n" + self.salt
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path_for(self, spec: CellSpec) -> Path:
+        return self.root / self.salt / f"{self.key_for(spec)}.pkl"
+
+    def get(self, spec: CellSpec) -> EngineResult | None:
+        """The cached result for ``spec``, or ``None`` on a miss. A
+        corrupted entry (truncated pickle, schema drift, wrong payload
+        type) is unlinked and reported as a miss."""
+        path = self.path_for(spec)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = pickle.loads(raw)
+            if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
+                raise ValueError(f"unrecognized cache payload in {path.name}")
+            result = payload["result"]
+            if not isinstance(result, EngineResult):
+                raise ValueError(f"cache entry {path.name} holds no EngineResult")
+        except Exception:
+            # Recover by re-simulating: a cache must never be able to
+            # fail a run that would succeed without it.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: CellSpec, result: EngineResult) -> None:
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "key": path.stem,
+            "spec": spec.canonical_json(),
+            "result": result,
+        }
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------ #
+    # Management (repro cache {stats,clear})
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> CacheStats:
+        generations = 0
+        entries = 0
+        current = 0
+        total = 0
+        if self.root.is_dir():
+            for gen_dir in sorted(self.root.iterdir()):
+                if not gen_dir.is_dir():
+                    continue
+                pickles = list(gen_dir.glob("*.pkl"))
+                if not pickles and gen_dir.name != self.salt:
+                    continue
+                generations += 1
+                entries += len(pickles)
+                total += sum(p.stat().st_size for p in pickles)
+                if gen_dir.name == self.salt:
+                    current += len(pickles)
+        return CacheStats(
+            root=str(self.root),
+            salt=self.salt,
+            generations=generations,
+            entries=entries,
+            current_entries=current,
+            total_bytes=total,
+        )
+
+    def clear(self) -> int:
+        """Remove every entry across all code generations; returns the
+        number of entries removed. Only cache-shaped files are touched —
+        the root itself and anything unrecognized are left alone."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for gen_dir in sorted(self.root.iterdir()):
+            if not gen_dir.is_dir():
+                continue
+            for path in gen_dir.glob("*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+            try:
+                gen_dir.rmdir()  # only succeeds when empty
+            except OSError:
+                pass
+        return removed

@@ -119,6 +119,7 @@ def run_autoscale_sweep(
     prompt_len: int = 2048,
     output_len: int = 128,
     seed: int = 0,
+    executor=None,
 ) -> AutoscaleSweepResult:
     """Serve one diurnal workload with a static peak fleet and each
     autoscaler.
@@ -129,7 +130,9 @@ def run_autoscale_sweep(
     amplitude) needs most of ``max_dp`` while the trough idles most of
     the fleet — the regime where elasticity pays. ``num_requests``
     defaults to whatever spans ``periods`` day-curve cycles; the period
-    is derived, keeping run length stable across models.
+    is derived, keeping run length stable across models. ``executor``
+    fans the capacity probe and the fleet runs over worker processes and
+    the result cache; results are bit-identical either way.
     """
     model = model or get_model("15b")
     cluster = cluster or make_cluster("A10", 8)
@@ -145,7 +148,25 @@ def run_autoscale_sweep(
         )
 
     probe = constant_workload(24, prompt_len, output_len)
-    capacity = VllmLikeEngine(model, cluster, replica_config).run(probe).throughput_rps
+    if executor is not None:
+        from repro.exec import CellSpec
+
+        def cell(cfg, opts: EngineOptions, wl) -> CellSpec:
+            return CellSpec(
+                engine="vllm", model=model, cluster=cluster,
+                config=cfg.label(), options=opts, workload=wl, seed=seed,
+            )
+
+        (probe_res,) = executor.run(
+            [cell(replica_config, EngineOptions(), probe)]
+        )
+        capacity = probe_res.throughput_rps
+    else:
+        capacity = (
+            VllmLikeEngine(model, cluster, replica_config)
+            .run(probe)
+            .throughput_rps
+        )
     mean_rate = load_fraction * max_dp * capacity
     if num_requests is None:
         num_requests = max(48, int(periods * 120))
@@ -154,19 +175,9 @@ def run_autoscale_sweep(
     workload: WorkloadSpec = diurnal_arrivals(base, mean_rate, period_s, seed=seed)
 
     peak_config = dc_replace(replica_config, dp=max_dp)
-    points = [
-        AutoscalePoint(
-            autoscaler="none",
-            result=VllmLikeEngine(
-                model,
-                cluster,
-                peak_config,
-                EngineOptions(router="jsq", coupled=True, ttft_slo=ttft_slo),
-            ).run(workload),
-        )
-    ]
-    for policy in autoscalers:
-        options = EngineOptions(
+    peak_opts = EngineOptions(router="jsq", coupled=True, ttft_slo=ttft_slo)
+    elastic_opts = [
+        EngineOptions(
             router="jsq",
             coupled=True,
             ttft_slo=ttft_slo,
@@ -174,6 +185,36 @@ def run_autoscale_sweep(
             min_dp=1,
             max_dp=max_dp,
         )
+        for policy in autoscalers
+    ]
+    if executor is not None:
+        fleet_results = executor.run(
+            [cell(peak_config, peak_opts, workload)]
+            + [cell(replica_config, opts, workload) for opts in elastic_opts]
+        )
+        points = [
+            AutoscalePoint(autoscaler=name, result=result)
+            for name, result in zip(
+                ("none", *autoscalers), fleet_results, strict=True
+            )
+        ]
+        return AutoscaleSweepResult(
+            capacity_rps_per_replica=capacity,
+            mean_rate_rps=mean_rate,
+            period_s=period_s,
+            ttft_slo=ttft_slo,
+            max_dp=max_dp,
+            points=tuple(points),
+        )
+    points = [
+        AutoscalePoint(
+            autoscaler="none",
+            result=VllmLikeEngine(
+                model, cluster, peak_config, peak_opts
+            ).run(workload),
+        )
+    ]
+    for policy, options in zip(autoscalers, elastic_opts, strict=True):
         points.append(
             AutoscalePoint(
                 autoscaler=policy,

@@ -87,33 +87,83 @@ def run_slo_sweep(
     tpot_slo: float = DEFAULT_TPOT_SLO,
     num_requests: int = 32,
     seed: int = 0,
+    executor=None,
 ) -> SLOSweepResult:
     """Serve the workload at a sweep of loads under both tuning objectives.
 
     ``load_fractions`` are multiples of the throughput-tuned pick's own
     measured offline throughput, so the sweep brackets its saturation knee
-    regardless of model/cluster scale.
+    regardless of model/cluster scale. ``executor`` fans the capacity
+    probe and the per-load serving runs over worker processes and the
+    result cache; results are bit-identical either way.
     """
     model = model or get_model("34b")
     cluster = cluster or make_cluster("A10", 8)
     workload = workload or arxiv_workload(num_requests, seed=seed)
 
     throughput_cfg = best_static_config(
-        model, cluster, workload, objective=ServingObjective()
+        model, cluster, workload, objective=ServingObjective(), executor=executor
     )
-    offline = VllmLikeEngine(model, cluster, throughput_cfg).run(workload)
+    if executor is not None:
+        from repro.exec import CellSpec
+
+        def cell(cfg, opts: EngineOptions, wl) -> CellSpec:
+            return CellSpec(
+                engine="vllm", model=model, cluster=cluster,
+                config=cfg.label(), options=opts, workload=wl, seed=seed,
+            )
+
+        (offline,) = executor.run(
+            [cell(throughput_cfg, EngineOptions(), workload)]
+        )
+    else:
+        offline = VllmLikeEngine(model, cluster, throughput_cfg).run(workload)
     capacity = offline.throughput_rps
 
     opts = EngineOptions(ttft_slo=ttft_slo, tpot_slo=tpot_slo)
-    points = []
+    # The per-load picks and predictions are analytic (cheap, in-process);
+    # only the serving runs are fanned out.
+    prepared = []
     for frac in load_fractions:
         rate = frac * capacity
         online = poisson_arrivals(workload, rate, seed=seed)
         objective = ServingObjective(
             kind="slo", request_rate=rate, ttft_slo=ttft_slo, tpot_slo=tpot_slo
         )
-        slo_cfg = best_static_config(model, cluster, workload, objective=objective)
+        slo_cfg = best_static_config(
+            model, cluster, workload, objective=objective, executor=executor
+        )
         predicted = _predicted_attainment(model, cluster, slo_cfg, workload, objective)
+        prepared.append((rate, online, slo_cfg, predicted))
+    if executor is not None:
+        specs = []
+        for rate, online, slo_cfg, _ in prepared:
+            specs.append(cell(throughput_cfg, opts, online))
+            if slo_cfg != throughput_cfg:
+                specs.append(cell(slo_cfg, opts, online))
+        results = iter(executor.run(specs))
+        points = []
+        for rate, online, slo_cfg, predicted in prepared:
+            thr_res = next(results)
+            slo_res = thr_res if slo_cfg == throughput_cfg else next(results)
+            points.append(
+                SLOSweepPoint(
+                    rate_rps=rate,
+                    throughput_result=thr_res,
+                    slo_result=slo_res,
+                    throughput_attainment=_attainment(thr_res, ttft_slo, tpot_slo),
+                    slo_attainment=_attainment(slo_res, ttft_slo, tpot_slo),
+                    predicted_attainment=predicted,
+                )
+            )
+        return SLOSweepResult(
+            ttft_slo=ttft_slo,
+            tpot_slo=tpot_slo,
+            capacity_rps=capacity,
+            points=tuple(points),
+        )
+    points = []
+    for rate, online, slo_cfg, predicted in prepared:
         thr_res = VllmLikeEngine(model, cluster, throughput_cfg, opts).run(online)
         slo_res = (
             thr_res

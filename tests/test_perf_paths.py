@@ -206,6 +206,48 @@ class TestScalarVectorEquivalence:
         )
         assert_bit_identical(mk(False).run(wl), mk(True).run(wl))
 
+    def test_admission_scan_offline(self, tiny_model, cluster_a10_4):
+        # Offline deal: the waiting queue is deep from t=0, so the
+        # cumulative-sum admission scan is on the hot path every wave.
+        wl = sharegpt_workload(120, seed=13)
+        mk = lambda vec: VllmLikeEngine(
+            tiny_model,
+            cluster_a10_4,
+            parse_config("T2P2"),
+            EngineOptions(vectorize=vec),
+        )
+        assert_bit_identical(mk(False).run(wl), mk(True).run(wl))
+
+    def test_admission_scan_budget_and_kv_breaks(self, tiny_model):
+        # A cramped single replica exercises every break arm of the
+        # scalar scan: seq cap, budget overflow (first prompt exempt),
+        # and KV-block exhaustion mid-window.
+        cluster = make_cluster("A10", 1)
+        wl = bursty_arrivals(
+            sharegpt_workload(100, seed=31), 16.0, burstiness=8.0, seed=31
+        )
+        mk = lambda vec: VllmLikeEngine(
+            tiny_model,
+            cluster,
+            parse_config("T1"),
+            EngineOptions(vectorize=vec, max_num_seqs=24, max_batched_tokens=2048),
+        )
+        assert_bit_identical(mk(False).run(wl), mk(True).run(wl))
+
+    def test_admission_scan_below_window_uses_scalar(self, tiny_model, cluster_a10_4):
+        # Tiny queues stay on the scalar path (VECTORIZE_MIN_SEQS gate)
+        # and still match a forced-scalar run.
+        from repro.workloads.synthetic import constant_workload
+
+        wl = constant_workload(3, 256, 16)
+        mk = lambda vec: VllmLikeEngine(
+            tiny_model,
+            cluster_a10_4,
+            parse_config("T2P2"),
+            EngineOptions(vectorize=vec),
+        )
+        assert_bit_identical(mk(False).run(wl), mk(True).run(wl))
+
 
 class TestFluidCalibration:
     """The fluid fast path against the event path on the fixed
@@ -259,7 +301,18 @@ class TestBenchHarness:
             "coupled_jsq",
             "autoscaled_diurnal",
             "fluid_million",
+            "sweep_parallel",
         }
+
+    def test_sweep_parallel_cell_asserts_bit_exactness(self):
+        record = run_cell("sweep_parallel", scale=0.05, jobs=2)
+        assert record["cell"] == "sweep_parallel"
+        assert record["work_kind"] == "cells"
+        assert record["work_items"] == 8
+        assert record["jobs"] == 2
+        assert record["serial_wall_s"] > 0 and record["wall_s"] > 0
+        assert record["speedup"] > 0
+        assert record["child_peak_rss_mb"] > 0  # workers reported their RSS
 
     def test_scaled_cell_runs(self):
         record = run_cell("coupled_jsq", scale=0.02)
